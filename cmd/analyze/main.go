@@ -1,0 +1,74 @@
+// Command analyze reads a trace produced by cmd/vodsim and regenerates the
+// paper's figures and tables from it, printing each with the paper's
+// reported result alongside the measured one.
+//
+// Usage:
+//
+//	analyze -trace trace.jsonl [-only fig05,table4] [-max-rank 6000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"vidperf/internal/core"
+	"vidperf/internal/figures"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+
+	var (
+		trace   = flag.String("trace", "trace.jsonl", "input JSONL trace (from vodsim)")
+		only    = flag.String("only", "", "comma-separated figure IDs to render (default all)")
+		maxRank = flag.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
+		filter  = flag.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := core.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s", ds)
+
+	if *filter {
+		res := core.FilterProxies(ds, core.ProxyFilterConfig{})
+		log.Printf("proxy filtering kept %d/%d sessions (%.1f%%)",
+			res.KeptSessions, res.TotalSessions, 100*res.KeptFraction)
+		ds = res.Kept
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToLower(id)] = true
+		}
+	}
+
+	pass, fail := 0, 0
+	for _, res := range figures.All(ds, *maxRank) {
+		if len(want) > 0 && !want[res.ID] {
+			continue
+		}
+		fmt.Println(res.Render())
+		if res.Pass {
+			pass++
+		} else {
+			fail++
+		}
+	}
+	fmt.Printf("== %d figures reproduce, %d shape mismatches ==\n", pass, fail)
+	if fail > 0 {
+		os.Exit(1)
+	}
+}

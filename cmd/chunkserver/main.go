@@ -1,0 +1,40 @@
+// Command chunkserver runs the miniature caching chunk server on a real
+// socket. Pair it with cmd/player to see the paper's instrumentation on an
+// actual network stack.
+//
+// Usage:
+//
+//	chunkserver -addr :8639 [-cache-mb 64] [-retry-ms 10] [-backend-ms 80]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"vidperf/internal/httpstream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chunkserver: ")
+
+	var (
+		addr      = flag.String("addr", ":8639", "listen address")
+		cacheMB   = flag.Int64("cache-mb", 64, "RAM cache size in MiB")
+		retryMS   = flag.Int("retry-ms", 10, "open-read retry timer (ms)")
+		backendMS = flag.Int("backend-ms", 80, "emulated backend latency on miss (ms)")
+	)
+	flag.Parse()
+
+	srv := httpstream.NewServer(httpstream.ServerConfig{
+		CacheBytes:     *cacheMB << 20,
+		OpenRetryDelay: time.Duration(*retryMS) * time.Millisecond,
+		BackendDelay:   time.Duration(*backendMS) * time.Millisecond,
+	})
+	log.Printf("serving chunks on %s (cache %d MiB, retry %d ms, backend %d ms)",
+		*addr, *cacheMB, *retryMS, *backendMS)
+	log.Printf("chunk URL format: /video/{videoID}/chunk/{chunkID}?kbps={bitrate}")
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,43 @@
+// Command player streams a video from a running chunkserver over real TCP
+// and prints the paper's per-chunk milestones as it goes, plus the session
+// QoE summary.
+//
+// Usage:
+//
+//	player -server http://127.0.0.1:8639 -video 1 -chunks 10 -kbps 1050
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vidperf/internal/httpstream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("player: ")
+
+	var (
+		server = flag.String("server", "http://127.0.0.1:8639", "chunkserver base URL")
+		video  = flag.Int("video", 1, "video ID to stream")
+		chunks = flag.Int("chunks", 10, "number of chunks to fetch")
+		kbps   = flag.Int("kbps", 1050, "bitrate (chunk size = kbps*6s/8)")
+	)
+	flag.Parse()
+
+	p := httpstream.NewPlayer(*server, *kbps)
+	res, err := p.Play(1, *video, *chunks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-8s %-10s %-10s %-10s %-8s %-6s\n",
+		"chunk", "cache", "DFB ms", "DLB ms", "Dcdn ms", "DBE ms", "retry")
+	for _, c := range res.Chunks {
+		fmt.Printf("%-6d %-8s %-10.2f %-10.2f %-10.2f %-8.2f %-6v\n",
+			c.ChunkID, c.CacheLevel, c.DFBms, c.DLBms, c.DreadMS, c.DBEms, c.RetryTimer)
+	}
+	fmt.Printf("\nstartup %.1f ms; rebuffers %d (%.1f ms, rate %.2f%%)\n",
+		res.StartupMS, res.RebufCount, res.RebufDurMS, 100*res.RebufferRate)
+}

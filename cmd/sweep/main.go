@@ -1,0 +1,147 @@
+// Command sweep runs one-factor sensitivity sweeps over the simulator's
+// main design knobs and prints how the paper's headline metrics respond —
+// useful for checking which findings are robust to the substitution
+// choices DESIGN.md documents and which are calibration-sensitive.
+//
+// Usage:
+//
+//	sweep [-sessions 2000] [-factor all|zipf|ram|retry|abr|buffer]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vidperf/internal/analysis"
+	"vidperf/internal/catalog"
+	"vidperf/internal/core"
+	"vidperf/internal/session"
+	"vidperf/internal/stats"
+	"vidperf/internal/workload"
+)
+
+var (
+	sessions = flag.Int("sessions", 2000, "sessions per sweep point")
+	factor   = flag.String("factor", "all", "which factor to sweep (all|zipf|ram|retry|abr|buffer)")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	flag.Parse()
+
+	switch *factor {
+	case "all":
+		sweepZipf()
+		sweepRAM()
+		sweepRetry()
+		sweepABR()
+		sweepBuffer()
+	case "zipf":
+		sweepZipf()
+	case "ram":
+		sweepRAM()
+	case "retry":
+		sweepRetry()
+	case "abr":
+		sweepABR()
+	case "buffer":
+		sweepBuffer()
+	default:
+		log.Fatalf("unknown factor %q", *factor)
+	}
+}
+
+func baseScenario(seed uint64) workload.Scenario {
+	return workload.Scenario{
+		Seed:        seed,
+		NumSessions: *sessions,
+		NumPrefixes: 400,
+		Catalog:     catalog.Config{NumVideos: 1500},
+	}
+}
+
+func run(sc workload.Scenario) *core.Dataset {
+	return core.FilterProxies(session.Run(sc), core.ProxyFilterConfig{}).Kept
+}
+
+func sweepZipf() {
+	fmt.Println("== popularity skew (Zipf exponent) vs cache behaviour ==")
+	fmt.Printf("%-8s %12s %14s %16s\n", "alpha", "top10 share", "miss rate %", "retry share %")
+	for _, a := range []float64{0.6, 0.8, 0.9, 1.0, 1.1} {
+		sc := baseScenario(11)
+		sc.Catalog.ZipfExponent = a
+		ds := run(sc)
+		st := analysis.ComputeDatasetStats(ds)
+		br := analysis.BreakdownCDNLatency(ds)
+		fmt.Printf("%-8.1f %11.1f%% %13.2f%% %15.1f%%\n",
+			a, 100*st.Top10VideoShare, 100*st.OverallMissRate, 100*br.RetryTimerChunkShare)
+	}
+	fmt.Println()
+}
+
+func sweepRAM() {
+	fmt.Println("== server RAM cache size vs the retry-timer finding ==")
+	fmt.Printf("%-10s %16s %14s %14s\n", "RAM", "retry share %", "med hit ms", "med miss ms")
+	for _, gb := range []float64{0.25, 0.5, 1, 2, 4} {
+		sc := baseScenario(12)
+		sc.Fleet.Server.RAMBytes = int64(gb * float64(1<<30))
+		ds := run(sc)
+		br := analysis.BreakdownCDNLatency(ds)
+		fmt.Printf("%-9.2fG %15.1f%% %14.2f %14.1f\n",
+			gb, 100*br.RetryTimerChunkShare, br.MedianHitMS, br.MedianMissMS)
+	}
+	fmt.Println()
+}
+
+func sweepRetry() {
+	fmt.Println("== ATS open-read retry timer vs Dread (ablation A2) ==")
+	fmt.Printf("%-10s %14s %14s\n", "timer ms", "p75 Dread ms", "p95 Dread ms")
+	for _, ms := range []float64{10, 5, 2, 0.5} {
+		sc := baseScenario(13)
+		sc.Fleet.Server.OpenRetryMS = ms
+		ds := run(sc)
+		br := analysis.BreakdownCDNLatency(ds)
+		fmt.Printf("%-10.1f %14.2f %14.2f\n",
+			ms, br.Dread.Quantile(0.75), br.Dread.Quantile(0.95))
+	}
+	fmt.Println()
+}
+
+func sweepABR() {
+	fmt.Println("== ABR algorithm vs QoE (ablation A6) ==")
+	fmt.Printf("%-24s %12s %12s\n", "abr", "kbps(avg)", "rebuf %")
+	for _, name := range []string{"hybrid", "buffer-based", "rate-smoothed", "rate-instant", "server-signal"} {
+		sc := baseScenario(14)
+		sc.ABRName = name
+		ds := run(sc)
+		var br, rb stats.Summary
+		for i := range ds.Sessions {
+			br.Add(ds.Sessions[i].AvgBitrateKbps)
+			rb.Add(ds.Sessions[i].RebufferRate)
+		}
+		fmt.Printf("%-24s %12.0f %11.2f%%\n", name, br.Mean(), 100*rb.Mean())
+	}
+	fmt.Println()
+}
+
+func sweepBuffer() {
+	fmt.Println("== player buffer high-water mark vs re-buffering ==")
+	fmt.Printf("%-10s %12s %16s\n", "target s", "rebuf %", "startup ms(med)")
+	for _, s := range []float64{10, 18, 30, 60} {
+		sc := baseScenario(15)
+		sc.MaxBufferSec = s
+		ds := run(sc)
+		var rb stats.Summary
+		var st []float64
+		for i := range ds.Sessions {
+			rb.Add(ds.Sessions[i].RebufferRate)
+			if v := ds.Sessions[i].StartupMS; v == v {
+				st = append(st, v)
+			}
+		}
+		fmt.Printf("%-10.0f %11.2f%% %16.0f\n", s, 100*rb.Mean(), stats.Median(st))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,102 @@
+// Command vodsim runs the end-to-end video-streaming simulation and writes
+// the joined instrumentation trace (player + CDN + TCP, per chunk and per
+// session) to a JSONL file, plus optional CSV exports. The trace is the
+// input to cmd/analyze.
+//
+// Usage:
+//
+//	vodsim -sessions 20000 -seed 1 -out trace.jsonl [-chunks-csv chunks.csv]
+//	       [-sessions-csv sessions.csv] [-abr hybrid] [-cold] [-filter-proxies]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vidperf/internal/catalog"
+	"vidperf/internal/core"
+	"vidperf/internal/session"
+	"vidperf/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vodsim: ")
+
+	var (
+		sessions    = flag.Int("sessions", 20000, "number of sessions to simulate")
+		prefixes    = flag.Int("prefixes", 2500, "number of client /24 prefixes")
+		videos      = flag.Int("videos", 6000, "catalog size (titles)")
+		seed        = flag.Uint64("seed", 1, "master scenario seed")
+		abrName     = flag.String("abr", "hybrid", "ABR algorithm (hybrid, rate-smoothed, rate-instant, rate-instant-screened, buffer-based, server-signal, fixed-low, fixed-high)")
+		cold        = flag.Bool("cold", false, "skip CDN cache pre-warming (cold-start ablation)")
+		filterProxy = flag.Bool("filter-proxies", false, "apply the §3 proxy preprocessing before writing")
+		out         = flag.String("out", "trace.jsonl", "output JSONL trace path")
+		chunksCSV   = flag.String("chunks-csv", "", "optional CSV export of the chunk table")
+		sessCSV     = flag.String("sessions-csv", "", "optional CSV export of the session table")
+	)
+	flag.Parse()
+
+	if _, err := session.NewABR(*abrName); err != nil {
+		log.Fatal(err)
+	}
+	sc := workload.Scenario{
+		Seed:        *seed,
+		NumSessions: *sessions,
+		NumPrefixes: *prefixes,
+		Catalog:     catalog.Config{NumVideos: *videos},
+		ABRName:     *abrName,
+		ColdStart:   *cold,
+	}
+	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v)",
+		*sessions, *seed, *abrName, *cold)
+	ds := session.Run(sc)
+	log.Printf("generated %s", ds)
+
+	if *filterProxy {
+		res := core.FilterProxies(ds, core.ProxyFilterConfig{})
+		log.Printf("proxy filtering kept %d/%d sessions (%.1f%%)",
+			res.KeptSessions, res.TotalSessions, 100*res.KeptFraction)
+		ds = res.Kept
+	}
+
+	if err := writeTrace(*out, ds); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+
+	if *chunksCSV != "" {
+		if err := writeFile(*chunksCSV, func(f *os.File) error {
+			return core.WriteChunksCSV(f, ds.Chunks)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *chunksCSV)
+	}
+	if *sessCSV != "" {
+		if err := writeFile(*sessCSV, func(f *os.File) error {
+			return core.WriteSessionsCSV(f, ds.Sessions)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *sessCSV)
+	}
+}
+
+func writeTrace(path string, ds *core.Dataset) error {
+	return writeFile(path, func(f *os.File) error { return core.WriteJSONL(f, ds) })
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,80 @@
+// ABR comparison: replay the identical workload under different bitrate
+// adaptation algorithms and compare QoE — including the §4.3 failure mode
+// where an ABR that trusts instantaneous client throughput is poisoned by
+// download-stack buffering, and the paper's recommended fixes (screening
+// outliers; using the server-side CWND/SRTT signal).
+//
+//	go run ./examples/abr-comparison
+package main
+
+import (
+	"fmt"
+
+	"vidperf/internal/catalog"
+	"vidperf/internal/core"
+	"vidperf/internal/session"
+	"vidperf/internal/stats"
+	"vidperf/internal/workload"
+)
+
+func main() {
+	algos := []string{
+		"hybrid", "buffer-based", "rate-smoothed",
+		"rate-instant", "rate-instant-screened", "server-signal",
+		"fixed-low", "fixed-high",
+	}
+	fmt.Printf("%-24s %10s %12s %12s %10s\n",
+		"ABR", "kbps(avg)", "rebuf rate", "startup ms", "drops %")
+	for _, name := range algos {
+		sc := workload.Scenario{
+			Seed:        7, // identical workload for every algorithm
+			NumSessions: 1500,
+			NumPrefixes: 400,
+			Catalog:     catalog.Config{NumVideos: 1500},
+			ABRName:     name,
+		}
+		ds := session.Run(sc)
+		fmt.Printf("%-24s %10.0f %11.2f%% %12.0f %9.2f%%\n",
+			name, meanBitrate(ds), 100*meanRebuf(ds), medianStartup(ds), 100*meanDrops(ds))
+	}
+	fmt.Println("\nReading the table: rate-instant overshoots after stack-buffered chunks")
+	fmt.Println("(higher rebuffering at similar bitrate); screening outliers or using the")
+	fmt.Println("server-side signal recovers most of the loss, matching §4.3's take-aways.")
+}
+
+func meanBitrate(ds *core.Dataset) float64 {
+	var s stats.Summary
+	for i := range ds.Sessions {
+		s.Add(ds.Sessions[i].AvgBitrateKbps)
+	}
+	return s.Mean()
+}
+
+func meanRebuf(ds *core.Dataset) float64 {
+	var s stats.Summary
+	for i := range ds.Sessions {
+		s.Add(ds.Sessions[i].RebufferRate)
+	}
+	return s.Mean()
+}
+
+func medianStartup(ds *core.Dataset) float64 {
+	var xs []float64
+	for i := range ds.Sessions {
+		if v := ds.Sessions[i].StartupMS; v == v { // skip NaN
+			xs = append(xs, v)
+		}
+	}
+	return stats.Median(xs)
+}
+
+func meanDrops(ds *core.Dataset) float64 {
+	var s stats.Summary
+	for i := range ds.Chunks {
+		c := &ds.Chunks[i]
+		if c.Visible && c.TotalFrames > 0 {
+			s.Add(c.DroppedFrac())
+		}
+	}
+	return s.Mean()
+}

@@ -1,0 +1,73 @@
+// Diagnosis walk-through: build the paper's two case studies with the
+// substrate directly — an early-loss vs late-loss session pair (Fig. 13)
+// and a download-stack-buffered chunk (Fig. 17) — then run the §4.3
+// detection methods (Eq. 4 outlier screen, Eq. 5 persistent-stack bound)
+// on the resulting traces.
+//
+//	go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+
+	"vidperf/internal/core"
+	"vidperf/internal/session"
+	"vidperf/internal/tcpmodel"
+)
+
+func main() {
+	path := tcpmodel.Params{
+		BaseRTTms: 45, JitterMS: 1,
+		BottleneckKbps: 1900, BufferBytes: 96 << 10, RcvWindowBytes: 128 << 10,
+	}
+
+	fmt.Println("== Fig. 13: timing of loss matters more than its amount ==")
+	base := session.Script{Seed: 13, Path: path, Chunks: 10, BitrateKbps: 1050, ServerLatencyMS: 2}
+	early := base
+	early.LossProbByChunk = map[int]float64{0: 0.18, 1: 0.18}
+	late := base
+	late.LossProbByChunk = map[int]float64{5: 0.22}
+	report("loss on chunks 0-1", session.RunScripted(early))
+	report("loss on chunk 5   ", session.RunScripted(late))
+
+	fmt.Println("\n== Fig. 17: a chunk buffered inside the client download stack ==")
+	fastPath := tcpmodel.Params{
+		BaseRTTms: 50, JitterMS: 2,
+		BottleneckKbps: 20000, BufferBytes: 256 << 10, RcvWindowBytes: 256 << 10,
+	}
+	ds := session.Script{
+		Seed: 2, Path: fastPath, Chunks: 22, BitrateKbps: 1750, ServerLatencyMS: 2,
+		TransientAtChunk: map[int]float64{7: 1800},
+	}
+	recs := session.RunScripted(ds)
+	fmt.Printf("chunk  DFB(ms)  DLB(ms)  TPinst(Mbps)  SRTT(ms)\n")
+	for _, c := range recs {
+		marker := ""
+		if c.TruthTransient {
+			marker = "   <-- stack-buffered"
+		}
+		fmt.Printf("%5d  %7.0f  %7.0f  %12.1f  %8.1f%s\n",
+			c.ChunkID, c.DFBms, c.DLBms, c.InstantThroughputKbps()/1000, c.SRTTms, marker)
+	}
+	rep := core.DetectStackOutliers(recs)
+	fmt.Printf("\nEq. 4 flags chunks %v — the download stack, not the network, is the\n", rep.Outliers)
+	fmt.Println("bottleneck: re-routing this client (the wrong diagnosis without the")
+	fmt.Println("end-to-end join) would have wasted CDN resources.")
+
+	fmt.Println("\n== Eq. 5: conservative persistent-stack bound per chunk ==")
+	for _, idx := range []int{6, 7, 8} {
+		fmt.Printf("chunk %d: estimated D_DS >= %.0f ms (truth %.0f ms)\n",
+			idx, core.EstimateDDSms(recs[idx]), recs[idx].TruthDDSms)
+	}
+}
+
+func report(label string, recs []core.ChunkRecord) {
+	lost, sent, rebufs := 0, 0, 0
+	for _, c := range recs {
+		lost += c.SegsLost
+		sent += c.SegsSent
+		rebufs += c.BufCount
+	}
+	fmt.Printf("%s overall loss %.2f%%  rebuffer events %d\n",
+		label, 100*float64(lost)/float64(sent), rebufs)
+}

@@ -1,0 +1,54 @@
+// Real-network demo: start the miniature caching chunk server on a
+// loopback socket, stream two sessions of the same video through it with
+// the instrumented HTTP player, and show the paper's core CDN findings —
+// miss-vs-hit latency and the retry timer — measured on an actual TCP
+// stack rather than the simulator.
+//
+//	go run ./examples/realnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"vidperf/internal/httpstream"
+)
+
+func main() {
+	srv := httpstream.NewServer(httpstream.ServerConfig{
+		CacheBytes:     32 << 20,
+		OpenRetryDelay: 10 * time.Millisecond,
+		BackendDelay:   80 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("chunk server listening at %s\n\n", ts.URL)
+
+	player := httpstream.NewPlayer(ts.URL, 1050)
+
+	fmt.Println("-- session 1: cold cache (every chunk misses to the backend) --")
+	play(player, 1)
+
+	fmt.Println("\n-- session 2: same video, warm cache --")
+	play(player, 2)
+
+	fmt.Printf("\nserver cache hit ratio: %.0f%%\n", 100*srv.HitRatio())
+	fmt.Println("The ~90 ms miss-vs-hit D_FB gap on a real socket is the paper's Fig. 5")
+	fmt.Println("mechanism (retry timer + backend fetch), observed with the same")
+	fmt.Println("player-side instrumentation the simulator uses.")
+}
+
+func play(p *httpstream.Player, session uint64) {
+	res, err := p.Play(session, 42, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-6s %-10s %-10s %-8s\n", "chunk", "cache", "DFB ms", "DLB ms", "retry")
+	for _, c := range res.Chunks {
+		fmt.Printf("%-6d %-6s %-10.2f %-10.2f %-8v\n",
+			c.ChunkID, c.CacheLevel, c.DFBms, c.DLBms, c.RetryTimer)
+	}
+	fmt.Printf("startup: %.1f ms\n", res.StartupMS)
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"sort"
+
+	"vidperf/internal/core"
+	"vidperf/internal/stats"
+)
+
+// DatasetStats reproduces the §3 dataset characterization used to
+// calibrate the workload (browser/OS mix, popularity skew, video length
+// spread) plus the headline cache numbers quoted through §4.1.
+type DatasetStats struct {
+	Sessions int
+	Chunks   int
+
+	BrowserShare map[string]float64 // fraction of sessions
+	OSShare      map[string]float64
+
+	// Top10VideoShare is the play share of the top 10% most popular
+	// videos (paper: ~66%).
+	Top10VideoShare float64
+
+	VideoLenCCDF *stats.ECDF   // Fig. 3a support
+	RankPlays    []stats.Point // Fig. 3b: normalized rank vs normalized frequency
+
+	OverallMissRate float64 // paper: ~2% average
+	USClientShare   float64 // paper: >93% North America
+}
+
+// ComputeDatasetStats aggregates the §3 statistics from a dataset.
+func ComputeDatasetStats(d *core.Dataset) DatasetStats {
+	out := DatasetStats{
+		Sessions:     len(d.Sessions),
+		Chunks:       len(d.Chunks),
+		BrowserShare: map[string]float64{},
+		OSShare:      map[string]float64{},
+	}
+	if out.Sessions == 0 {
+		return out
+	}
+	playsByVideo := map[int]int{}
+	var lens []float64
+	us := 0
+	for i := range d.Sessions {
+		s := &d.Sessions[i]
+		out.BrowserShare[s.Browser]++
+		out.OSShare[s.OS]++
+		playsByVideo[s.VideoRank]++
+		lens = append(lens, s.VideoLenSec)
+		if s.US {
+			us++
+		}
+	}
+	n := float64(out.Sessions)
+	for k := range out.BrowserShare {
+		out.BrowserShare[k] /= n
+	}
+	for k := range out.OSShare {
+		out.OSShare[k] /= n
+	}
+	out.USClientShare = float64(us) / n
+	out.VideoLenCCDF = stats.NewECDF(lens)
+
+	// Rank-vs-frequency series and the top-10% share.
+	type rp struct {
+		rank, plays int
+	}
+	var rps []rp
+	total := 0
+	for rank, plays := range playsByVideo {
+		rps = append(rps, rp{rank, plays})
+		total += plays
+	}
+	sort.Slice(rps, func(i, j int) bool { return rps[i].plays > rps[j].plays })
+	maxRank := 0
+	for _, e := range rps {
+		if e.rank > maxRank {
+			maxRank = e.rank
+		}
+	}
+	topCut := maxRank / 10
+	topPlays := 0
+	for rank, plays := range playsByVideo {
+		if rank <= topCut {
+			topPlays += plays
+		}
+	}
+	if total > 0 {
+		out.Top10VideoShare = float64(topPlays) / float64(total)
+	}
+	for i, e := range rps {
+		out.RankPlays = append(out.RankPlays, stats.Point{
+			X: float64(i+1) / float64(len(rps)),
+			Y: float64(e.plays) / float64(total),
+		})
+	}
+
+	misses := 0
+	for i := range d.Chunks {
+		if !d.Chunks[i].CacheHit {
+			misses++
+		}
+	}
+	if out.Chunks > 0 {
+		out.OverallMissRate = float64(misses) / float64(out.Chunks)
+	}
+	return out
+}
+
+// ServerVsNetworkLatency reports the §4.1 comparison: for most chunks the
+// network dominates the server, and the exceptions are dominated by cache
+// misses (paper: server > network for 5% of chunks, with a 40% miss ratio
+// among those vs 2% overall).
+type ServerVsNetworkLatency struct {
+	ServerDominatesShare  float64
+	MissRateWhenDominates float64
+	MissRateOverall       float64
+}
+
+// CompareServerVsNetwork computes the server-vs-network dominance split.
+func CompareServerVsNetwork(d *core.Dataset) ServerVsNetworkLatency {
+	dominates, missesDom, misses := 0, 0, 0
+	for i := range d.Chunks {
+		c := &d.Chunks[i]
+		if !c.CacheHit {
+			misses++
+		}
+		if c.ServerLatencyMS() > c.BaselineRTTSampleMS() {
+			dominates++
+			if !c.CacheHit {
+				missesDom++
+			}
+		}
+	}
+	var out ServerVsNetworkLatency
+	if n := len(d.Chunks); n > 0 {
+		out.ServerDominatesShare = float64(dominates) / float64(n)
+		out.MissRateOverall = float64(misses) / float64(n)
+	}
+	if dominates > 0 {
+		out.MissRateWhenDominates = float64(missesDom) / float64(dominates)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"vidperf/internal/core"
+	"vidperf/internal/stats"
+)
+
+// LossSplit reproduces Fig. 11: session length, quality and re-buffering
+// distributions for sessions with and without packet loss.
+type LossSplit struct {
+	LenLoss, LenNoLoss         *stats.ECDF // #chunks (Fig. 11a)
+	BitrateLoss, BitrateNoLoss *stats.ECDF // avg kbps (Fig. 11b)
+	RebufLoss, RebufNoLoss     *stats.ECDF // rebuffer rate %, use CCDF view (Fig. 11c)
+	NoLossShare                float64     // paper: ~40% of sessions loss-free
+	SubTenPctShare             float64     // paper: >90% of sessions retx < 10%
+}
+
+// SplitByLoss partitions sessions on HadLoss and builds the Fig. 11
+// distributions.
+func SplitByLoss(d *core.Dataset) LossSplit {
+	var lenL, lenN, brL, brN, rbL, rbN []float64
+	noLoss, subTen := 0, 0
+	for i := range d.Sessions {
+		s := &d.Sessions[i]
+		if s.RetxRate < 0.10 {
+			subTen++
+		}
+		if s.HadLoss {
+			lenL = append(lenL, float64(s.NumChunks))
+			brL = append(brL, s.AvgBitrateKbps)
+			rbL = append(rbL, s.RebufferRate*100)
+		} else {
+			noLoss++
+			lenN = append(lenN, float64(s.NumChunks))
+			brN = append(brN, s.AvgBitrateKbps)
+			rbN = append(rbN, s.RebufferRate*100)
+		}
+	}
+	out := LossSplit{
+		LenLoss: stats.NewECDF(lenL), LenNoLoss: stats.NewECDF(lenN),
+		BitrateLoss: stats.NewECDF(brL), BitrateNoLoss: stats.NewECDF(brN),
+		RebufLoss: stats.NewECDF(rbL), RebufNoLoss: stats.NewECDF(rbN),
+	}
+	if n := len(d.Sessions); n > 0 {
+		out.NoLossShare = float64(noLoss) / float64(n)
+		out.SubTenPctShare = float64(subTen) / float64(n)
+	}
+	return out
+}
+
+// RebufVsRetx reproduces Fig. 12: mean session re-buffering rate (%) in
+// bins of session retransmission rate (%).
+func RebufVsRetx(d *core.Dataset, binPct, maxPct float64) []stats.BinStat {
+	var xs, ys []float64
+	for i := range d.Sessions {
+		s := &d.Sessions[i]
+		xs = append(xs, s.RetxRate*100)
+		ys = append(ys, s.RebufferRate*100)
+	}
+	return stats.BinnedStats(xs, ys, 0, maxPct, binPct)
+}
+
+// RebufByChunkID reproduces Fig. 14: per chunk position X, the fraction of
+// chunks with a re-buffering event, and the same conditioned on loss in
+// that chunk.
+type RebufByChunkID struct {
+	PRebuf          []float64 // P(rebuffering at chunk = X), percent
+	PRebufGivenLoss []float64 // P(rebuffering at chunk = X | loss at X), percent
+}
+
+// ComputeRebufByChunkID aggregates chunk positions 0..maxChunk.
+func ComputeRebufByChunkID(d *core.Dataset, maxChunk int) RebufByChunkID {
+	total := make([]int, maxChunk+1)
+	rebuf := make([]int, maxChunk+1)
+	lossTotal := make([]int, maxChunk+1)
+	lossRebuf := make([]int, maxChunk+1)
+	for i := range d.Chunks {
+		c := &d.Chunks[i]
+		if c.ChunkID > maxChunk {
+			continue
+		}
+		total[c.ChunkID]++
+		hadRebuf := c.BufCount > 0
+		if hadRebuf {
+			rebuf[c.ChunkID]++
+		}
+		if c.SegsLost > 0 {
+			lossTotal[c.ChunkID]++
+			if hadRebuf {
+				lossRebuf[c.ChunkID]++
+			}
+		}
+	}
+	out := RebufByChunkID{
+		PRebuf:          make([]float64, maxChunk+1),
+		PRebufGivenLoss: make([]float64, maxChunk+1),
+	}
+	for x := 0; x <= maxChunk; x++ {
+		if total[x] > 0 {
+			out.PRebuf[x] = float64(rebuf[x]) / float64(total[x]) * 100
+		}
+		if lossTotal[x] > 0 {
+			out.PRebufGivenLoss[x] = float64(lossRebuf[x]) / float64(lossTotal[x]) * 100
+		}
+	}
+	return out
+}
+
+// RetxByChunkID reproduces Fig. 15: average per-chunk retransmission rate
+// (%) by chunk position.
+func RetxByChunkID(d *core.Dataset, maxChunk int) []float64 {
+	var keys []int
+	var rates []float64
+	for i := range d.Chunks {
+		c := &d.Chunks[i]
+		keys = append(keys, c.ChunkID)
+		rates = append(rates, c.LossRate()*100)
+	}
+	return stats.GroupedMean(keys, rates, maxChunk)
+}
+
+// PerfScoreSplit reproduces Fig. 16: the latency-share, D_FB, and D_LB
+// distributions for chunks with perfscore >= 1 vs < 1.
+type PerfScoreSplit struct {
+	GoodShare, BadShare *stats.ECDF // latency share D_FB/(D_FB+D_LB)
+	GoodDFB, BadDFB     *stats.ECDF // ms
+	GoodDLB, BadDLB     *stats.ECDF // ms
+	BadChunkFrac        float64
+}
+
+// SplitPerfScores builds Fig. 16 from all chunks.
+func SplitPerfScores(d *core.Dataset) PerfScoreSplit {
+	var gs, bs, gf, bf, gl, bl []float64
+	bad := 0
+	for i := range d.Chunks {
+		c := &d.Chunks[i]
+		share := core.LatencyShare(*c)
+		if c.PerfScore() >= 1 {
+			gs = append(gs, share)
+			gf = append(gf, c.DFBms)
+			gl = append(gl, c.DLBms)
+		} else {
+			bad++
+			bs = append(bs, share)
+			bf = append(bf, c.DFBms)
+			bl = append(bl, c.DLBms)
+		}
+	}
+	out := PerfScoreSplit{
+		GoodShare: stats.NewECDF(gs), BadShare: stats.NewECDF(bs),
+		GoodDFB: stats.NewECDF(gf), BadDFB: stats.NewECDF(bf),
+		GoodDLB: stats.NewECDF(gl), BadDLB: stats.NewECDF(bl),
+	}
+	if n := len(d.Chunks); n > 0 {
+		out.BadChunkFrac = float64(bad) / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package backend models the origin service behind the CDN. A cache miss
+// at a CDN server triggers a backend request whose latency D_BE combines
+// the WAN round trip from the PoP to the origin datacenter with the
+// origin's own (lognormal) service time. The paper measures D_BE at the
+// CDN and reports that misses raise median server latency from 2 ms to
+// ~80 ms — a 40x penalty this model is calibrated to.
+package backend
+
+import (
+	"math"
+
+	"vidperf/internal/stats"
+)
+
+// Config parameterizes the backend latency model. Zero fields take
+// defaults calibrated to the paper's Fig. 5 miss curve.
+type Config struct {
+	// WANRTTms is the PoP-to-origin network round trip (default 45 ms).
+	WANRTTms float64
+	// ServiceMedianMS is the origin's median service time (default 28 ms).
+	ServiceMedianMS float64
+	// ServiceSigma is the lognormal shape of the service time
+	// (default 0.55, giving a moderately heavy tail).
+	ServiceSigma float64
+	// SlowProb is the probability of a pathological origin stall
+	// (default 0.002) adding SlowPenaltyMS.
+	SlowProb float64
+	// SlowPenaltyMS is the stall magnitude (default 800 ms).
+	SlowPenaltyMS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WANRTTms == 0 {
+		c.WANRTTms = 45
+	}
+	if c.ServiceMedianMS == 0 {
+		c.ServiceMedianMS = 28
+	}
+	if c.ServiceSigma == 0 {
+		c.ServiceSigma = 0.55
+	}
+	if c.SlowProb == 0 {
+		c.SlowProb = 0.002
+	}
+	if c.SlowPenaltyMS == 0 {
+		c.SlowPenaltyMS = 800
+	}
+	return c
+}
+
+// Service is an origin latency sampler. It is not safe for concurrent use.
+type Service struct {
+	cfg Config
+	r   *stats.Rand
+
+	// Requests counts backend fetches (for the load take-away analysis).
+	Requests int64
+}
+
+// New builds a backend service model.
+func New(cfg Config, r *stats.Rand) *Service {
+	return &Service{cfg: cfg.withDefaults(), r: r}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// FetchLatencyMS samples one backend fetch's D_BE in milliseconds:
+// WAN RTT + origin service time (+ rare stall).
+func (s *Service) FetchLatencyMS() float64 {
+	s.Requests++
+	lat := s.cfg.WANRTTms + s.r.LogNormal(math.Log(s.cfg.ServiceMedianMS), s.cfg.ServiceSigma)
+	if s.r.Bool(s.cfg.SlowProb) {
+		lat += s.cfg.SlowPenaltyMS
+	}
+	return lat
+}

@@ -1,0 +1,52 @@
+package backend
+
+import (
+	"testing"
+
+	"vidperf/internal/stats"
+)
+
+func TestDefaults(t *testing.T) {
+	s := New(Config{}, stats.NewRand(1))
+	c := s.Config()
+	if c.WANRTTms != 45 || c.ServiceMedianMS != 28 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestLatencyDistribution(t *testing.T) {
+	s := New(Config{}, stats.NewRand(2))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = s.FetchLatencyMS()
+	}
+	med := stats.Median(xs)
+	// Calibration: median D_BE should land near the paper's ~75-80 ms
+	// miss penalty (WAN 45 + service ~28).
+	if med < 55 || med > 100 {
+		t.Errorf("median D_BE = %.1f ms, want ~73", med)
+	}
+	if stats.Min(xs) < 45 {
+		t.Errorf("latency below WAN floor: %v", stats.Min(xs))
+	}
+	// Heavy-ish tail from the lognormal + stalls.
+	if stats.Quantile(xs, 0.99) < med*1.8 {
+		t.Errorf("tail too light: p99=%.1f med=%.1f", stats.Quantile(xs, 0.99), med)
+	}
+	if s.Requests != int64(len(xs)) {
+		t.Errorf("request count = %d", s.Requests)
+	}
+}
+
+func TestStallsRaiseTail(t *testing.T) {
+	fast := New(Config{SlowProb: 1e-12}, stats.NewRand(3))
+	slow := New(Config{SlowProb: 0.2, SlowPenaltyMS: 1000}, stats.NewRand(3))
+	var fs, ss stats.Summary
+	for i := 0; i < 5000; i++ {
+		fs.Add(fast.FetchLatencyMS())
+		ss.Add(slow.FetchLatencyMS())
+	}
+	if ss.Mean() < fs.Mean()+100 {
+		t.Errorf("stalls did not raise mean: %v vs %v", ss.Mean(), fs.Mean())
+	}
+}

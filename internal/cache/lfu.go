@@ -1,0 +1,219 @@
+package cache
+
+import "container/heap"
+
+// priorityCache is the shared heap machinery behind LFU, perfect-LFU and
+// the GreedyDual family: a byte-capacity cache that always evicts the
+// resident object with the smallest priority.
+type priorityCache struct {
+	capacity int64
+	size     int64
+	items    map[uint64]*pcEntry
+	heap     pcHeap
+	tick     uint64 // insertion counter for deterministic tie-breaking
+
+	// evicted is a reusable scratch list of keys the last insert displaced,
+	// so policies can release per-key metadata without scanning.
+	evicted []uint64
+}
+
+type pcEntry struct {
+	key      uint64
+	size     int64
+	priority float64
+	tick     uint64
+	index    int // heap index
+}
+
+type pcHeap []*pcEntry
+
+func (h pcHeap) Len() int { return len(h) }
+func (h pcHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].tick < h[j].tick // older entry evicted first on ties
+}
+func (h pcHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *pcHeap) Push(x interface{}) {
+	e := x.(*pcEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *pcHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func newPriorityCache(capacity int64) priorityCache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return priorityCache{capacity: capacity, items: make(map[uint64]*pcEntry)}
+}
+
+func (c *priorityCache) contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+func (c *priorityCache) setPriority(key uint64, p float64) {
+	if e, ok := c.items[key]; ok {
+		e.priority = p
+		heap.Fix(&c.heap, e.index)
+	}
+}
+
+// insert adds key, evicting minimum-priority entries until it fits.
+// It returns the priority of the last evicted entry (the GreedyDual "L"
+// update), or 0 if nothing was evicted.
+func (c *priorityCache) insert(key uint64, size int64, priority float64) (lastEvicted float64) {
+	c.evicted = c.evicted[:0]
+	if size <= 0 || size > c.capacity {
+		return 0
+	}
+	if e, ok := c.items[key]; ok {
+		c.size += size - e.size
+		e.size = size
+		e.priority = priority
+		heap.Fix(&c.heap, e.index)
+	} else {
+		c.tick++
+		e := &pcEntry{key: key, size: size, priority: priority, tick: c.tick}
+		c.items[key] = e
+		heap.Push(&c.heap, e)
+		c.size += size
+	}
+	for c.size > c.capacity && len(c.heap) > 0 {
+		ev := heap.Pop(&c.heap).(*pcEntry)
+		delete(c.items, ev.key)
+		c.size -= ev.size
+		c.evicted = append(c.evicted, ev.key)
+		lastEvicted = ev.priority
+	}
+	return lastEvicted
+}
+
+func (c *priorityCache) remove(key uint64) {
+	if e, ok := c.items[key]; ok {
+		heap.Remove(&c.heap, e.index)
+		delete(c.items, key)
+		c.size -= e.size
+	}
+}
+
+// LFU evicts the resident object with the fewest accesses since insertion
+// (in-cache frequency only; counts are lost on eviction).
+type LFU struct {
+	pc    priorityCache
+	freqs map[uint64]float64
+}
+
+// NewLFU returns an in-cache LFU policy with the given byte capacity.
+func NewLFU(capacity int64) *LFU {
+	return &LFU{pc: newPriorityCache(capacity), freqs: make(map[uint64]float64)}
+}
+
+// Name implements Policy.
+func (c *LFU) Name() string { return "lfu" }
+
+// Get implements Policy.
+func (c *LFU) Get(key uint64) bool {
+	if !c.pc.contains(key) {
+		return false
+	}
+	c.freqs[key]++
+	c.pc.setPriority(key, c.freqs[key])
+	return true
+}
+
+// Put implements Policy.
+func (c *LFU) Put(key uint64, size int64) {
+	if !c.pc.contains(key) {
+		c.freqs[key] = 1
+	}
+	c.pc.insert(key, size, c.freqs[key])
+	// In-cache LFU: counters die with eviction.
+	for _, k := range c.pc.evicted {
+		delete(c.freqs, k)
+	}
+}
+
+// Contains implements Policy.
+func (c *LFU) Contains(key uint64) bool { return c.pc.contains(key) }
+
+// Remove implements Policy.
+func (c *LFU) Remove(key uint64) {
+	c.pc.remove(key)
+	delete(c.freqs, key)
+}
+
+// Len implements Policy.
+func (c *LFU) Len() int { return len(c.pc.items) }
+
+// Size implements Policy.
+func (c *LFU) Size() int64 { return c.pc.size }
+
+// Capacity implements Policy.
+func (c *LFU) Capacity() int64 { return c.pc.capacity }
+
+var _ Policy = (*LFU)(nil)
+
+// PerfectLFU evicts by all-time access frequency: counts survive eviction,
+// which is the "perfect-LFU" policy the paper's §4.1 take-away suggests for
+// popularity-heavy workloads (after Breslau et al.).
+type PerfectLFU struct {
+	pc    priorityCache
+	freqs map[uint64]float64 // persists across evictions
+}
+
+// NewPerfectLFU returns a perfect-LFU policy with the given byte capacity.
+func NewPerfectLFU(capacity int64) *PerfectLFU {
+	return &PerfectLFU{pc: newPriorityCache(capacity), freqs: make(map[uint64]float64)}
+}
+
+// Name implements Policy.
+func (c *PerfectLFU) Name() string { return "perfect-lfu" }
+
+// Get implements Policy.
+func (c *PerfectLFU) Get(key uint64) bool {
+	c.freqs[key]++
+	if !c.pc.contains(key) {
+		return false
+	}
+	c.pc.setPriority(key, c.freqs[key])
+	return true
+}
+
+// Put implements Policy.
+func (c *PerfectLFU) Put(key uint64, size int64) {
+	if c.freqs[key] == 0 {
+		c.freqs[key] = 1
+	}
+	c.pc.insert(key, size, c.freqs[key])
+}
+
+// Contains implements Policy.
+func (c *PerfectLFU) Contains(key uint64) bool { return c.pc.contains(key) }
+
+// Remove implements Policy.
+func (c *PerfectLFU) Remove(key uint64) { c.pc.remove(key) }
+
+// Len implements Policy.
+func (c *PerfectLFU) Len() int { return len(c.pc.items) }
+
+// Size implements Policy.
+func (c *PerfectLFU) Size() int64 { return c.pc.size }
+
+// Capacity implements Policy.
+func (c *PerfectLFU) Capacity() int64 { return c.pc.capacity }
+
+var _ Policy = (*PerfectLFU)(nil)

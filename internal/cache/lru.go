@@ -1,0 +1,100 @@
+package cache
+
+import "container/list"
+
+// LRU is a least-recently-used byte-capacity cache, the Apache Traffic
+// Server default eviction policy the paper's CDN runs.
+type LRU struct {
+	capacity int64
+	size     int64
+	ll       *list.List // front = most recent
+	items    map[uint64]*list.Element
+}
+
+type lruEntry struct {
+	key  uint64
+	size int64
+}
+
+// NewLRU returns an LRU cache holding at most capacity bytes.
+// It panics if capacity <= 0.
+func NewLRU(capacity int64) *LRU {
+	if capacity <= 0 {
+		panic("cache: NewLRU capacity must be positive")
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "lru" }
+
+// Get implements Policy.
+func (c *LRU) Get(key uint64) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(el)
+	return true
+}
+
+// Put implements Policy.
+func (c *LRU) Put(key uint64, size int64) {
+	if size <= 0 || size > c.capacity {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.size += size - e.size
+		e.size = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, size: size})
+		c.size += size
+	}
+	for c.size > c.capacity {
+		c.evictOldest()
+	}
+}
+
+func (c *LRU) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.size -= e.size
+}
+
+// Contains implements Policy.
+func (c *LRU) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Remove implements Policy.
+func (c *LRU) Remove(key uint64) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.size -= e.size
+	}
+}
+
+// Len implements Policy.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Size implements Policy.
+func (c *LRU) Size() int64 { return c.size }
+
+// Capacity implements Policy.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+var _ Policy = (*LRU)(nil)

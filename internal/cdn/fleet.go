@@ -1,0 +1,94 @@
+package cdn
+
+import (
+	"vidperf/internal/backend"
+	"vidperf/internal/stats"
+)
+
+// FleetConfig describes the CDN deployment: PoPs, servers per PoP, the
+// per-server configuration, and the client-mapping policy.
+type FleetConfig struct {
+	NumPoPs       int // default 6 (geo.DefaultPoPs)
+	ServersPerPoP int // default 14 (≈85 servers total, paper §3)
+
+	Server  Config
+	Backend backend.Config
+
+	// PartitionTopRanks spreads videos with rank < PartitionTopRanks over
+	// all servers of a PoP (per-session hashing) instead of pinning them
+	// to one cache-focused server — the §4.1 load-balancing take-away
+	// (ablation A4). 0 disables partitioning.
+	PartitionTopRanks int
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.NumPoPs == 0 {
+		c.NumPoPs = 6
+	}
+	if c.ServersPerPoP == 0 {
+		c.ServersPerPoP = 14
+	}
+	return c
+}
+
+// Fleet is the deployed server set plus the traffic-engineering mapping.
+type Fleet struct {
+	cfg     FleetConfig
+	Servers []*Server // indexed popID*ServersPerPoP + slot
+}
+
+// NewFleet builds all servers, each with an independent RNG stream and
+// backend sampler derived from r.
+func NewFleet(cfg FleetConfig, r *stats.Rand) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{cfg: cfg}
+	for pop := 0; pop < cfg.NumPoPs; pop++ {
+		for slot := 0; slot < cfg.ServersPerPoP; slot++ {
+			id := pop*cfg.ServersPerPoP + slot
+			be := backend.New(cfg.Backend, r.Split())
+			f.Servers = append(f.Servers, NewServer(id, pop, cfg.Server, be, r.Split()))
+		}
+	}
+	return f
+}
+
+// Config returns the effective fleet configuration.
+func (f *Fleet) Config() FleetConfig { return f.cfg }
+
+// NumServers returns the total server count.
+func (f *Fleet) NumServers() int { return len(f.Servers) }
+
+// ServerFor implements the paper's cache-focused traffic engineering:
+// within the client's PoP, a video is consistently hashed to one server so
+// that server's cache stays hot for it. When partitioning is enabled, the
+// most popular ranks are instead spread per-session across the PoP's
+// servers to balance load.
+func (f *Fleet) ServerFor(popID, videoID, videoRank int, sessionID uint64) *Server {
+	if popID < 0 || popID >= f.cfg.NumPoPs {
+		popID = 0
+	}
+	var slot int
+	if f.cfg.PartitionTopRanks > 0 && videoRank < f.cfg.PartitionTopRanks {
+		slot = int(mix(uint64(videoID)*0x9e3779b97f4a7c15^sessionID) % uint64(f.cfg.ServersPerPoP))
+	} else {
+		slot = int(mix(uint64(videoID)) % uint64(f.cfg.ServersPerPoP))
+	}
+	return f.Servers[popID*f.cfg.ServersPerPoP+slot]
+}
+
+// PoPServers returns the servers of one PoP (for warmup and inspection).
+func (f *Fleet) PoPServers(popID int) []*Server {
+	if popID < 0 || popID >= f.cfg.NumPoPs {
+		return nil
+	}
+	start := popID * f.cfg.ServersPerPoP
+	return f.Servers[start : start+f.cfg.ServersPerPoP]
+}
+
+// mix is a 64-bit finalizer (splitmix64) used for consistent hashing.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,265 @@
+package cdn
+
+import (
+	"math"
+	"testing"
+
+	"vidperf/internal/backend"
+	"vidperf/internal/cache"
+	"vidperf/internal/sim"
+	"vidperf/internal/stats"
+)
+
+func newTestServer(cfg Config) *Server {
+	r := stats.NewRand(42)
+	be := backend.New(backend.Config{}, r.Split())
+	return NewServer(0, 0, cfg, be, r.Split())
+}
+
+// serveSync runs one request to completion on a fresh engine and returns
+// the result plus the engine time at first byte.
+func serveSync(s *Server, req Request) (ServeResult, float64) {
+	var eng sim.Engine
+	var out ServeResult
+	var at float64
+	s.Serve(&eng, req, func(res ServeResult) { out = res; at = eng.Now() })
+	eng.Run()
+	return out, at
+}
+
+func TestMissThenHitLatencyGap(t *testing.T) {
+	s := newTestServer(Config{})
+	req := Request{Key: 1, SizeBytes: 500000, VideoID: 1, ChunkIndex: 0}
+
+	miss, missAt := serveSync(s, req)
+	if miss.Level != cache.LevelMiss {
+		t.Fatalf("first serve level = %v, want miss", miss.Level)
+	}
+	if miss.DBEms <= 0 {
+		t.Error("miss without backend latency")
+	}
+	if !miss.RetryTimer {
+		t.Error("miss should trip the open-retry timer")
+	}
+	if missAt < miss.ServerLatencyMS()-1e-6 {
+		t.Errorf("first byte at %v before server latency %v elapsed", missAt, miss.ServerLatencyMS())
+	}
+
+	hit, _ := serveSync(s, req)
+	if hit.Level != cache.LevelRAM {
+		t.Fatalf("second serve level = %v, want ram", hit.Level)
+	}
+	if hit.DBEms != 0 {
+		t.Error("hit has backend latency")
+	}
+	// The paper's calibration: miss latency ~40x hit latency in the median.
+	if miss.ServerLatencyMS() < 5*hit.ServerLatencyMS() {
+		t.Errorf("miss %v not ≫ hit %v", miss.ServerLatencyMS(), hit.ServerLatencyMS())
+	}
+}
+
+func TestRetryTimerSeparatesDiskFromRAM(t *testing.T) {
+	// Fill RAM past capacity so an early object is evicted to disk,
+	// then observe the ~10 ms retry gap on the disk hit.
+	cfg := Config{RAMBytes: 1 << 20, DiskBytes: 1 << 30}
+	s := newTestServer(cfg)
+	reqA := Request{Key: 100, SizeBytes: 600000}
+	serveSync(s, reqA) // miss -> cached (RAM+disk)
+	serveSync(s, Request{Key: 101, SizeBytes: 600000})
+	serveSync(s, Request{Key: 102, SizeBytes: 600000}) // evicts key 100 from RAM
+
+	res, _ := serveSync(s, reqA)
+	if res.Level != cache.LevelDisk {
+		t.Fatalf("level = %v, want disk", res.Level)
+	}
+	if !res.RetryTimer {
+		t.Error("disk read should trip the retry timer")
+	}
+	if res.DreadMS < 10 {
+		t.Errorf("disk Dread %v below the 10 ms retry floor", res.DreadMS)
+	}
+	if res.DBEms != 0 {
+		t.Error("disk hit charged backend latency")
+	}
+}
+
+func TestHitStatsDistribution(t *testing.T) {
+	s := newTestServer(Config{})
+	var hitLat, missLat []float64
+	for k := uint64(0); k < 300; k++ {
+		req := Request{Key: k, SizeBytes: 400000}
+		m, _ := serveSync(s, req)
+		missLat = append(missLat, m.ServerLatencyMS())
+		h, _ := serveSync(s, req)
+		hitLat = append(hitLat, h.ServerLatencyMS())
+	}
+	medHit, medMiss := stats.Median(hitLat), stats.Median(missLat)
+	// Paper: median 2 ms (hit) vs 80 ms (miss). Accept generous bands.
+	if medHit > 6 {
+		t.Errorf("median hit latency %.2f ms, want ~2", medHit)
+	}
+	if medMiss < 40 || medMiss > 160 {
+		t.Errorf("median miss latency %.2f ms, want ~80", medMiss)
+	}
+	if medMiss/medHit < 10 {
+		t.Errorf("miss/hit ratio %.1f, want order-of-magnitude", medMiss/medHit)
+	}
+}
+
+func TestFIFOQueueWait(t *testing.T) {
+	// One worker, two simultaneous requests: the second must wait for the
+	// first's local work and record a larger Dwait.
+	cfg := Config{Workers: 1}
+	s := newTestServer(cfg)
+	var eng sim.Engine
+	var first, second ServeResult
+	gotFirst := false
+	s.Serve(&eng, Request{Key: 1, SizeBytes: 400000}, func(r ServeResult) { first = r; gotFirst = true })
+	s.Serve(&eng, Request{Key: 2, SizeBytes: 400000}, func(r ServeResult) { second = r })
+	eng.Run()
+	if !gotFirst {
+		t.Fatal("first request never finished")
+	}
+	if second.DwaitMS <= first.DwaitMS {
+		t.Errorf("queued request Dwait %v not above first %v", second.DwaitMS, first.DwaitMS)
+	}
+}
+
+func TestPinFirstChunks(t *testing.T) {
+	s := newTestServer(Config{PinFirstChunks: true})
+	res, _ := serveSync(s, Request{Key: 7, SizeBytes: 400000, ChunkIndex: 0})
+	if !res.Pinned || res.Level != cache.LevelRAM || res.DBEms != 0 {
+		t.Errorf("pinned first chunk not served from memory: %+v", res)
+	}
+	// Non-first chunks still miss.
+	res2, _ := serveSync(s, Request{Key: 8, SizeBytes: 400000, ChunkIndex: 1})
+	if res2.Pinned || res2.Level != cache.LevelMiss {
+		t.Errorf("chunk 1 should miss: %+v", res2)
+	}
+}
+
+func TestPrefetchWarmsNextChunks(t *testing.T) {
+	s := newTestServer(Config{Prefetch: 2})
+	req := Request{
+		Key: 1, SizeBytes: 400000, ChunkIndex: 0,
+		Next: []NextChunk{{Key: 2, SizeBytes: 400000}, {Key: 3, SizeBytes: 400000}, {Key: 4, SizeBytes: 400000}},
+	}
+	serveSync(s, req) // miss triggers prefetch of keys 2 and 3 (not 4)
+	if !s.Cache().Contains(2) || !s.Cache().Contains(3) {
+		t.Error("prefetch did not warm next chunks")
+	}
+	if s.Cache().Contains(4) {
+		t.Error("prefetch exceeded configured depth")
+	}
+	res, _ := serveSync(s, Request{Key: 2, SizeBytes: 400000, ChunkIndex: 1})
+	if res.Level == cache.LevelMiss {
+		t.Error("prefetched chunk still missed")
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	s := newTestServer(Config{})
+	if !math.IsNaN(s.MeanDCDNms()) {
+		t.Error("MeanDCDN before any request should be NaN")
+	}
+	serveSync(s, Request{Key: 1, SizeBytes: 100000})
+	serveSync(s, Request{Key: 1, SizeBytes: 100000})
+	if s.Served != 2 || s.BytesServed != 200000 {
+		t.Errorf("served=%d bytes=%d", s.Served, s.BytesServed)
+	}
+	if s.RetryHits != 1 {
+		t.Errorf("retry hits = %d, want 1 (the miss)", s.RetryHits)
+	}
+	if s.MeanDCDNms() <= 0 {
+		t.Error("MeanDCDN not positive")
+	}
+}
+
+func TestUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newTestServer(Config{Policy: "nope"})
+}
+
+func TestFleetMapping(t *testing.T) {
+	r := stats.NewRand(9)
+	f := NewFleet(FleetConfig{NumPoPs: 3, ServersPerPoP: 4}, r)
+	if f.NumServers() != 12 {
+		t.Fatalf("servers = %d", f.NumServers())
+	}
+	// Cache-focused: same video -> same server, regardless of session.
+	a := f.ServerFor(1, 77, 77, 111)
+	b := f.ServerFor(1, 77, 77, 222)
+	if a != b {
+		t.Error("cache-focused mapping not session-independent")
+	}
+	if a.PoPID != 1 {
+		t.Errorf("server PoP = %d, want 1", a.PoPID)
+	}
+	// Different videos spread across slots.
+	servers := make(map[int]bool)
+	for vid := 0; vid < 100; vid++ {
+		servers[f.ServerFor(0, vid, vid, 1).ID] = true
+	}
+	if len(servers) < 3 {
+		t.Errorf("mapping used only %d server(s)", len(servers))
+	}
+	// Out-of-range PoP falls back safely.
+	if f.ServerFor(-1, 5, 5, 1) == nil || f.ServerFor(99, 5, 5, 1) == nil {
+		t.Error("out-of-range PoP not handled")
+	}
+}
+
+func TestFleetPartitioningSpreadsPopular(t *testing.T) {
+	r := stats.NewRand(10)
+	f := NewFleet(FleetConfig{NumPoPs: 1, ServersPerPoP: 8, PartitionTopRanks: 100}, r)
+	// A popular video (rank < 100) should land on many servers across
+	// sessions; an unpopular one stays pinned.
+	popServers := make(map[int]bool)
+	coldServers := make(map[int]bool)
+	for sess := uint64(0); sess < 200; sess++ {
+		popServers[f.ServerFor(0, 5, 5, sess).ID] = true
+		coldServers[f.ServerFor(0, 5000, 5000, sess).ID] = true
+	}
+	if len(popServers) < 4 {
+		t.Errorf("popular video spread over %d servers, want several", len(popServers))
+	}
+	if len(coldServers) != 1 {
+		t.Errorf("unpopular video on %d servers, want 1", len(coldServers))
+	}
+}
+
+// Calibration: with RAM sized well below the hot set, a Zipf stream should
+// produce the paper's layered outcome: most chunks from RAM, a meaningful
+// disk share (retry timer), and a small backend miss rate.
+func TestLayeredServeShares(t *testing.T) {
+	cfg := Config{RAMBytes: 256 << 20, DiskBytes: 8 << 30}
+	s := newTestServer(cfg)
+	r := stats.NewRand(11)
+	z := stats.NewZipf(3000, 0.9)
+	var eng sim.Engine
+	counts := map[cache.Level]int{}
+	n := 8000
+	for i := 0; i < n; i++ {
+		key := uint64(z.Sample(r))
+		req := Request{Key: key, SizeBytes: 450000}
+		s.Serve(&eng, req, func(res ServeResult) { counts[res.Level]++ })
+		eng.Run()
+	}
+	ram := float64(counts[cache.LevelRAM]) / float64(n)
+	disk := float64(counts[cache.LevelDisk]) / float64(n)
+	miss := float64(counts[cache.LevelMiss]) / float64(n)
+	if ram < 0.4 {
+		t.Errorf("RAM share %.2f too low", ram)
+	}
+	if disk <= 0.02 {
+		t.Errorf("disk share %.2f too low for the retry-timer finding", disk)
+	}
+	if miss > 0.40 {
+		t.Errorf("miss share %.2f too high", miss)
+	}
+	t.Logf("shares: ram=%.2f disk=%.2f miss=%.2f", ram, disk, miss)
+}

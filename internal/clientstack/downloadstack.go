@@ -1,0 +1,132 @@
+package clientstack
+
+import (
+	"math"
+
+	"vidperf/internal/stats"
+)
+
+// StackProfile is a session's persistent download-stack character. The
+// paper finds (§4.3): 17.6% of chunks see non-zero D_DS; the level is a
+// property of the OS/browser pair (Table 5: Safari-on-Windows/Linux worst
+// at ~1 s, Firefox ~280 ms); the first chunk pays an extra ~300 ms for
+// Flash event-listener and data-path setup; and 0.32% of chunks are fully
+// buffered by the stack and delivered late all at once.
+type StackProfile struct {
+	// PersistentDDSMS is the session's baseline per-chunk download-stack
+	// latency (0 for clean sessions).
+	PersistentDDSMS float64
+	// FirstChunkExtraMS is the additional first-chunk latency from
+	// progress-event registration and data-path setup.
+	FirstChunkExtraMS float64
+	// TransientProb is the per-chunk probability of a buffered-delivery
+	// outlier (the Eq. 4 detection target).
+	TransientProb float64
+	// TransientMeanMS is the mean transient buffering delay.
+	TransientMeanMS float64
+	// FreezeProb is the per-chunk probability of an outright runtime
+	// freeze; FreezeMinMS/FreezeMaxMS bound its duration. A small share
+	// of persistent-stack sessions are "badly broken" (freezes on most
+	// chunks) — the sessions behind the paper's >10%-re-buffering /
+	// >500 ms D_DS bucket.
+	FreezeProb  float64
+	FreezeMinMS float64
+	FreezeMaxMS float64
+}
+
+// stackTraits maps an OS/browser pair to (probability the session has a
+// persistent stack problem, mean persistent D_DS when present). Values are
+// calibrated so chunk-weighted means reproduce Table 5's ordering.
+func stackTraits(p Platform) (prob, meanMS float64) {
+	switch {
+	case p.Browser == Safari && p.OS != MacOS:
+		// Safari outside OS X: no native pipeline, worst case (~1s).
+		return 0.85, 1200
+	case p.Browser == Yandex || p.Browser == SeaMonkey:
+		return 0.70, 700
+	case p.Browser == Vivaldi || p.Browser == Opera:
+		return 0.55, 450
+	case p.Browser == OtherBrowser:
+		return 0.50, 560
+	case p.Browser == Firefox:
+		// Firefox runs Flash out-of-process ("protected mode").
+		return 0.35, 800
+	case p.Browser == InternetExplorer || p.Browser == Edge:
+		return 0.30, 420
+	case p.Browser == Safari && p.OS == MacOS:
+		return 0.10, 300
+	default: // Chrome: integrated PPAPI Flash
+		return 0.08, 250
+	}
+}
+
+// NewStackProfile derives a session's download-stack profile from its
+// platform.
+func NewStackProfile(p Platform, r *stats.Rand) StackProfile {
+	prob, mean := stackTraits(p)
+	sp := StackProfile{
+		FirstChunkExtraMS: r.LogNormal(math.Log(300), 0.45),
+		TransientProb:     0.0032,
+	}
+	if r.Bool(prob) {
+		sp.PersistentDDSMS = r.LogNormal(math.Log(mean), 0.5)
+		if r.Bool(0.08) {
+			// Badly broken runtime: freezes on most chunks.
+			sp.FreezeProb = 0.5
+			sp.FreezeMinMS, sp.FreezeMaxMS = 2000, 8000
+		} else {
+			sp.FreezeProb = 0.03
+			sp.FreezeMinMS, sp.FreezeMaxMS = 1500, 4500
+		}
+	}
+	sp.TransientMeanMS = 900
+	return sp
+}
+
+// ChunkDDS is one chunk's download-stack outcome.
+type ChunkDDS struct {
+	// DDSms is the stack latency added to the chunk's first-byte delay.
+	DDSms float64
+	// DeliveryStretchMS additionally slows the whole delivery: a starved
+	// progress-event loop doesn't just delay the first byte, it throttles
+	// how fast bytes reach the player, which is how persistent stack
+	// problems end up causing re-buffering (§4.3's QoE impact).
+	DeliveryStretchMS float64
+	// Transient marks a buffered-delivery outlier: the stack held the
+	// chunk's bytes and released them at once, so the player additionally
+	// sees a compressed last-byte delay (huge instantaneous throughput).
+	Transient bool
+	// TransientDelayMS is the buffering duration for transient chunks.
+	TransientDelayMS float64
+}
+
+// Sample draws chunk chunkIdx's stack behaviour.
+func (sp StackProfile) Sample(chunkIdx int, r *stats.Rand) ChunkDDS {
+	var out ChunkDDS
+	if sp.PersistentDDSMS > 0 {
+		// Persistent sessions pay on (almost) every chunk, with wobble,
+		// and the starved event loop stretches delivery too.
+		out.DDSms = sp.PersistentDDSMS * r.Uniform(0.6, 1.5)
+		out.DeliveryStretchMS = sp.PersistentDDSMS * r.Uniform(0.3, 0.8)
+		// Occasionally the runtime freezes outright (GC pause, modal
+		// dialog, plugin hang): seconds of stack delay on a clean
+		// network — the stalls behind §4.3's "download stack problems
+		// are worse for sessions with re-buffering".
+		if r.Bool(sp.FreezeProb) {
+			out.DDSms += r.Uniform(sp.FreezeMinMS, sp.FreezeMaxMS)
+		}
+	} else if r.Bool(0.04) {
+		// Clean sessions still see occasional small stack delays
+		// (GC pauses, event-loop hiccups).
+		out.DDSms = r.Exp(60)
+	}
+	if chunkIdx == 0 {
+		out.DDSms += sp.FirstChunkExtraMS
+	}
+	if r.Bool(sp.TransientProb) {
+		out.Transient = true
+		out.TransientDelayMS = r.Exp(sp.TransientMeanMS) + 300
+		out.DDSms += out.TransientDelayMS
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package clientstack
+
+import (
+	"math"
+
+	"vidperf/internal/stats"
+)
+
+// RenderOutcome is one chunk's rendering-path result (the paper's avgfr,
+// dropfr and vis player metrics).
+type RenderOutcome struct {
+	FramesTotal   int
+	FramesDropped int
+	AvgFPS        float64
+	Visible       bool
+	Hardware      bool // rendered on the GPU
+}
+
+// DroppedFrac returns the dropped-frame fraction.
+func (o RenderOutcome) DroppedFrac() float64 {
+	if o.FramesTotal == 0 {
+		return 0
+	}
+	return float64(o.FramesDropped) / float64(o.FramesTotal)
+}
+
+// browserRenderOverhead returns the baseline CPU-path drop fraction due to
+// the browser's Flash/plugin architecture, calibrated to Figs. 21–22:
+// integrated-runtime browsers (Chrome, Safari/OS X) outperform
+// out-of-process ones (Firefox protected mode), and unpopular browsers
+// (Yandex, Vivaldi, Opera, Safari-on-Windows) are worst.
+func browserRenderOverhead(p Platform) float64 {
+	switch {
+	case p.Browser == Safari && p.OS == MacOS:
+		return 0.010 // native HLS
+	case p.Browser == Chrome:
+		return 0.015 // integrated PPAPI Flash
+	case p.Browser == Edge:
+		return 0.030
+	case p.Browser == InternetExplorer:
+		return 0.040
+	case p.Browser == Firefox:
+		return 0.035 // out-of-process Flash
+	case p.Browser == Opera:
+		return 0.090
+	case p.Browser == Vivaldi:
+		return 0.110
+	case p.Browser == Safari: // Safari outside OS X
+		return 0.130
+	case p.Browser == Yandex:
+		return 0.150
+	case p.Browser == SeaMonkey:
+		return 0.120
+	default:
+		return 0.100
+	}
+}
+
+// RenderChunk models the demux/decode/render pipeline for one chunk.
+//
+// downloadRate is the paper's sec/sec measure: seconds of video delivered
+// per wall-clock second (τ / (D_FB + D_LB)). Below 1.0 the decoder starves;
+// the paper's Fig. 19 threshold of 1.5 sec/sec is where parse/decode slack
+// suffices and drops flatten. CPU load raises drops steeply once the cores
+// saturate (Fig. 20), bitrate adds per-frame decode cost, and hidden
+// players drop frames by design to save CPU.
+func RenderChunk(p Platform, visible bool, downloadRate float64, bitrateKbps int,
+	fps float64, durationSec float64, bufferedSec float64, r *stats.Rand) RenderOutcome {
+
+	total := int(math.Round(fps * durationSec))
+	out := RenderOutcome{FramesTotal: total, Visible: visible, Hardware: p.GPU}
+	if total == 0 {
+		return out
+	}
+
+	if !visible {
+		// Hidden tab or minimized window: frames dropped deliberately.
+		out.FramesDropped = int(float64(total) * r.Uniform(0.85, 1.0))
+		out.AvgFPS = fps * (1 - out.DroppedFrac())
+		return out
+	}
+
+	var dropFrac float64
+	if p.GPU {
+		// Hardware rendering: near-zero drops regardless of load.
+		dropFrac = r.Exp(0.004)
+	} else {
+		dropFrac = browserRenderOverhead(p)
+
+		// Starvation term: frames that miss their presentation deadline
+		// because data arrives slower than real time. Buffered video
+		// hides modest shortfalls (the paper's 5.7% of low-rate chunks
+		// with good framerate).
+		if downloadRate < 1.5 {
+			starve := (1.5 - math.Max(downloadRate, 0)) / 1.5 // 0..1
+			shield := math.Min(bufferedSec/20.0, 0.8)         // buffer hides up to 80%
+			dropFrac += 0.45 * starve * starve * (1 - shield) * 2.2
+		}
+
+		// CPU saturation: software decode demands ~0.35 of one core at the
+		// top rung; against the machine's cores plus background load the
+		// drop rate turns superlinear as utilization approaches 1
+		// (Fig. 20's curve).
+		decodeDemand := 0.35 * float64(bitrateKbps) / 3000.0 // of one core
+		util := p.CPULoad + decodeDemand/float64(maxI(p.CPUCores, 1))
+		if util > 0.6 {
+			over := (util - 0.6) / 0.4
+			dropFrac += 0.10 * over * over
+		}
+		if util > 1.0 {
+			dropFrac += 0.25 * (util - 1.0)
+		}
+	}
+
+	dropFrac *= r.Uniform(0.7, 1.35) // per-chunk noise
+	if dropFrac < 0 {
+		dropFrac = 0
+	}
+	if dropFrac > 0.95 {
+		dropFrac = 0.95
+	}
+	out.FramesDropped = int(dropFrac * float64(total))
+	out.AvgFPS = fps * (1 - out.DroppedFrac())
+	return out
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"vidperf/internal/stats"
+)
+
+func sampleChunk() ChunkRecord {
+	return ChunkRecord{
+		SessionID: 1, ChunkID: 0,
+		DFBms: 150, DLBms: 2000,
+		BitrateKbps: 1050, SizeBytes: 787500, DurationSec: 6,
+		DwaitMS: 0.2, DopenMS: 0.4, DreadMS: 1.4, DBEms: 0,
+		CacheHit: true, CacheLevel: "ram",
+		CWND: 40, SRTTms: 60, SRTTVarMS: 6, MSS: 1460,
+		SegsSent: 540, SegsLost: 5,
+		Visible: true, TotalFrames: 180, DroppedFrames: 9,
+	}
+}
+
+func TestChunkDerivedMetrics(t *testing.T) {
+	c := sampleChunk()
+	if got := c.DCDNms(); got != 2.0 {
+		t.Errorf("DCDN = %v", got)
+	}
+	if got := c.ServerLatencyMS(); got != 2.0 {
+		t.Errorf("server latency = %v", got)
+	}
+	if got := c.RTT0UpperBoundMS(); got != 148 {
+		t.Errorf("rtt0 bound = %v", got)
+	}
+	// Baseline sample takes SRTT when below the rtt0 bound.
+	if got := c.BaselineRTTSampleMS(); got != 60 {
+		t.Errorf("baseline = %v", got)
+	}
+	// perfscore = 6 / 2.15 ≈ 2.79 — a good chunk.
+	if got := c.PerfScore(); math.Abs(got-6/2.15) > 1e-9 {
+		t.Errorf("perfscore = %v", got)
+	}
+	if got := c.LossRate(); math.Abs(got-5.0/540) > 1e-12 {
+		t.Errorf("loss rate = %v", got)
+	}
+	if got := c.InstantThroughputKbps(); math.Abs(got-787500*8/2000.0) > 1e-9 {
+		t.Errorf("tp inst = %v", got)
+	}
+	if got := c.ConnThroughputKbps(); math.Abs(got-1460*40*8/60.0) > 1e-9 {
+		t.Errorf("eq3 = %v", got)
+	}
+	if got := c.DroppedFrac(); got != 0.05 {
+		t.Errorf("dropped frac = %v", got)
+	}
+	if got := LatencyShare(c); math.Abs(got-150.0/2150) > 1e-12 {
+		t.Errorf("latency share = %v", got)
+	}
+}
+
+func TestEdgeCaseMetrics(t *testing.T) {
+	var c ChunkRecord
+	if c.LossRate() != 0 || c.PerfScore() != 0 || c.InstantThroughputKbps() != 0 ||
+		c.ConnThroughputKbps() != 0 || c.DroppedFrac() != 0 || LatencyShare(c) != 0 {
+		t.Error("zero-value chunk metrics should be 0")
+	}
+	c.DFBms = 1 // DCDN 0, rtt0 bound 1
+	if c.RTT0UpperBoundMS() != 1 {
+		t.Error("rtt0 bound wrong")
+	}
+	c.DBEms = 5 // bound would be negative
+	if c.RTT0UpperBoundMS() != 0 {
+		t.Error("negative rtt0 bound should clamp to 0")
+	}
+}
+
+func TestEstimateDDS(t *testing.T) {
+	c := sampleChunk()
+	// RTO_paper = 200 + 60 + 24 = 284; DFB - 2 - 284 < 0 -> no evidence.
+	if got := EstimateDDSms(c); got != 0 {
+		t.Errorf("clean chunk DDS estimate = %v", got)
+	}
+	c.DFBms = 1500 // stack-delayed chunk
+	want := 1500 - 2 - 284.0
+	if got := EstimateDDSms(c); math.Abs(got-want) > 1e-9 {
+		t.Errorf("DDS estimate = %v, want %v", got, want)
+	}
+}
+
+func TestSplitByPerfScore(t *testing.T) {
+	good := sampleChunk() // score ~2.8
+	bad := sampleChunk()
+	bad.DLBms = 10000 // score 6/10.15 < 1
+	s := SplitByPerfScore([]ChunkRecord{good, bad, good})
+	if len(s.Good) != 2 || len(s.Bad) != 1 {
+		t.Fatalf("split = %d good, %d bad", len(s.Good), len(s.Bad))
+	}
+	if s.Bad[0] != 1 {
+		t.Error("wrong bad index")
+	}
+}
+
+func TestDetectStackOutliers(t *testing.T) {
+	r := stats.NewRand(3)
+	var chunks []ChunkRecord
+	for i := 0; i < 20; i++ {
+		c := sampleChunk()
+		c.ChunkID = i
+		c.DFBms = 140 + r.Uniform(0, 20)
+		c.DLBms = 1900 + r.Uniform(0, 200)
+		chunks = append(chunks, c)
+	}
+	// Inject the Fig. 17 signature at chunk 7: huge DFB, tiny DLB
+	// (=> huge TPinst), ordinary SRTT/server/CWND.
+	chunks[7].DFBms = 2600
+	chunks[7].DLBms = 40
+	rep := DetectStackOutliers(chunks)
+	if len(rep.Outliers) != 1 || rep.Outliers[0] != 7 {
+		t.Fatalf("outliers = %v, want [7]", rep.Outliers)
+	}
+}
+
+func TestDetectStackOutliersIgnoresNetworkSpikes(t *testing.T) {
+	r := stats.NewRand(4)
+	var chunks []ChunkRecord
+	for i := 0; i < 20; i++ {
+		c := sampleChunk()
+		c.ChunkID = i
+		c.DFBms = 140 + r.Uniform(0, 20)
+		chunks = append(chunks, c)
+	}
+	// A genuine network-latency spike: DFB up AND SRTT up -> not a stack
+	// problem, must not be flagged.
+	chunks[5].DFBms = 2600
+	chunks[5].DLBms = 40
+	chunks[5].SRTTms = 900
+	rep := DetectStackOutliers(chunks)
+	for _, idx := range rep.Outliers {
+		if idx == 5 {
+			t.Fatal("network spike misattributed to the download stack")
+		}
+	}
+}
+
+func TestDetectStackOutliersShortSession(t *testing.T) {
+	if got := DetectStackOutliers(make([]ChunkRecord, 3)); len(got.Outliers) != 0 {
+		t.Error("short session should yield nothing")
+	}
+}
+
+func TestComputeSessionChunkStats(t *testing.T) {
+	a := sampleChunk()
+	b := sampleChunk()
+	b.ChunkID = 1
+	b.SegsLost = 0
+	b.SRTTms = 50
+	cs := ComputeSessionChunkStats([]ChunkRecord{a, b})
+	if cs.TotalSent != 1080 || cs.TotalLost != 5 {
+		t.Errorf("totals = %+v", cs)
+	}
+	if !cs.AnyLoss {
+		t.Error("loss not detected")
+	}
+	if math.Abs(cs.FirstLossRate-5.0/540) > 1e-12 {
+		t.Errorf("first loss rate = %v", cs.FirstLossRate)
+	}
+	if cs.BaselineRTTms != 50 {
+		t.Errorf("baseline = %v", cs.BaselineRTTms)
+	}
+	if math.Abs(cs.RetxRate()-5.0/1080) > 1e-12 {
+		t.Errorf("retx rate = %v", cs.RetxRate())
+	}
+	empty := ComputeSessionChunkStats(nil)
+	if empty.BaselineRTTms != 0 || empty.RetxRate() != 0 {
+		t.Error("empty session stats wrong")
+	}
+}
+
+func TestFilterProxies(t *testing.T) {
+	d := &Dataset{}
+	// 10 clean sessions, 3 with IP mismatch, and 60 behind one egress IP.
+	id := uint64(1)
+	add := func(http, beacon string) {
+		d.Sessions = append(d.Sessions, SessionRecord{
+			SessionID: id, HTTPClientIP: http, BeaconIP: beacon,
+		})
+		d.Chunks = append(d.Chunks, ChunkRecord{SessionID: id})
+		id++
+	}
+	for i := 0; i < 10; i++ {
+		ip := "10.0.0." + string(rune('a'+i))
+		add(ip, ip)
+	}
+	for i := 0; i < 3; i++ {
+		add("proxy-X", "10.1.0."+string(rune('a'+i)))
+	}
+	for i := 0; i < 60; i++ {
+		add("proxy-Y", "proxy-Y") // volume rule only
+	}
+	res := FilterProxies(d, ProxyFilterConfig{MaxSessionsPerIP: 50})
+	if res.KeptSessions != 10 {
+		t.Fatalf("kept %d, want 10", res.KeptSessions)
+	}
+	if res.IPMismatch != 3 {
+		t.Errorf("ip mismatches = %d", res.IPMismatch)
+	}
+	if res.HighVolumeIP != 60 {
+		t.Errorf("high-volume = %d", res.HighVolumeIP)
+	}
+	if len(res.Kept.Chunks) != 10 {
+		t.Errorf("kept chunks = %d", len(res.Kept.Chunks))
+	}
+	if math.Abs(res.KeptFraction-10.0/73) > 1e-9 {
+		t.Errorf("kept fraction = %v", res.KeptFraction)
+	}
+}
+
+func TestDatasetIndexAndLookup(t *testing.T) {
+	d := &Dataset{
+		Sessions: []SessionRecord{{SessionID: 5}, {SessionID: 9}},
+		Chunks:   []ChunkRecord{{SessionID: 5}, {SessionID: 9}, {SessionID: 5, ChunkID: 1}},
+	}
+	if s := d.Session(9); s == nil || s.SessionID != 9 {
+		t.Error("Session lookup failed")
+	}
+	if d.Session(404) != nil {
+		t.Error("missing session should be nil")
+	}
+	g := d.ChunksBySession()
+	if len(g[5]) != 2 || len(g[9]) != 1 {
+		t.Errorf("grouping = %v", g)
+	}
+	if !strings.Contains(d.String(), "2 sessions") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := &Dataset{
+		Sessions: []SessionRecord{{SessionID: 1, Browser: "Chrome", StartupMS: 900}},
+		Chunks: []ChunkRecord{
+			sampleChunk(),
+			{SessionID: 1, ChunkID: 1, DFBms: 80, CacheLevel: "disk"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sessions) != 1 || len(got.Chunks) != 2 {
+		t.Fatalf("round trip lost records: %v", got)
+	}
+	if got.Chunks[0] != d.Chunks[0] {
+		t.Error("chunk did not round-trip")
+	}
+	if got.Sessions[0].Browser != "Chrome" {
+		t.Error("session did not round-trip")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	var cb, sb bytes.Buffer
+	if err := WriteChunksCSV(&cb, []ChunkRecord{sampleChunk()}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("chunk csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "session_id,chunk_id,dfb_ms") {
+		t.Errorf("chunk header = %q", lines[0])
+	}
+	if strings.Contains(lines[0], "truth") {
+		t.Error("ground truth leaked into CSV export")
+	}
+	if err := WriteSessionsCSV(&sb, []SessionRecord{{SessionID: 3, Browser: "Firefox"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Firefox") {
+		t.Error("session csv missing data")
+	}
+}

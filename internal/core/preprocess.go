@@ -1,0 +1,68 @@
+package core
+
+// ProxyFilterConfig tunes the §3 preprocessing that removes sessions
+// behind enterprise/ISP HTTP proxies, whose server-side network
+// measurements describe the server→proxy path rather than the client.
+type ProxyFilterConfig struct {
+	// MaxSessionsPerIP flags client IPs that appear in implausibly many
+	// sessions ("more minutes of video per day than there are minutes in
+	// a day"). Default 50 for the laptop-scale traces.
+	MaxSessionsPerIP int
+}
+
+// ProxyFilterResult reports what preprocessing found and kept.
+type ProxyFilterResult struct {
+	Kept          *Dataset
+	TotalSessions int
+	KeptSessions  int
+	IPMismatch    int // rule (i): HTTP IP != beacon IP
+	HighVolumeIP  int // rule (ii): shared egress IP over threshold
+	KeptFraction  float64
+}
+
+// FilterProxies applies the paper's two detection rules and returns the
+// retained dataset (the paper keeps 77% of sessions). The input dataset is
+// not modified; ProxySuspected is set on the returned copy's sessions.
+func FilterProxies(d *Dataset, cfg ProxyFilterConfig) ProxyFilterResult {
+	if cfg.MaxSessionsPerIP == 0 {
+		cfg.MaxSessionsPerIP = 50
+	}
+	res := ProxyFilterResult{TotalSessions: len(d.Sessions)}
+
+	perIP := make(map[string]int)
+	for i := range d.Sessions {
+		perIP[d.Sessions[i].HTTPClientIP]++
+	}
+
+	keep := make(map[uint64]bool, len(d.Sessions))
+	kept := &Dataset{}
+	for i := range d.Sessions {
+		s := d.Sessions[i] // copy
+		mismatch := s.HTTPClientIP != s.BeaconIP
+		volume := perIP[s.HTTPClientIP] > cfg.MaxSessionsPerIP
+		if mismatch {
+			res.IPMismatch++
+		}
+		if volume {
+			res.HighVolumeIP++
+		}
+		if mismatch || volume {
+			continue
+		}
+		s.ProxySuspected = false
+		kept.Sessions = append(kept.Sessions, s)
+		keep[s.SessionID] = true
+	}
+	for i := range d.Chunks {
+		if keep[d.Chunks[i].SessionID] {
+			kept.Chunks = append(kept.Chunks, d.Chunks[i])
+		}
+	}
+	kept.Index()
+	res.Kept = kept
+	res.KeptSessions = len(kept.Sessions)
+	if res.TotalSessions > 0 {
+		res.KeptFraction = float64(res.KeptSessions) / float64(res.TotalSessions)
+	}
+	return res
+}

@@ -1,0 +1,232 @@
+// Package core is the paper's contribution as a reusable library: the
+// end-to-end, per-chunk instrumentation schema (player delivery, player
+// rendering, CDN application layer, CDN TCP layer — Tables 2 and 3), the
+// session join keyed by (sessionID, chunkID), the §3 proxy-filtering
+// preprocessing, and the §4 diagnosis methods (Eq. 1 latency
+// decomposition, Eq. 2 performance score, Eq. 4 download-stack outlier
+// detection, Eq. 5 persistent download-stack bound).
+package core
+
+import (
+	"fmt"
+)
+
+// ChunkRecord is the joined per-chunk view of one HTTP chunk fetch,
+// combining the player-side and CDN-side measurements that share a
+// (SessionID, ChunkID) key. Fields mirror the paper's Table 2.
+type ChunkRecord struct {
+	SessionID uint64
+	ChunkID   int // 0-based position within the session
+
+	// Player, delivery path.
+	DFBms       float64 // first-byte delay as the player sees it
+	DLBms       float64 // last-byte delay (first byte -> last byte)
+	BitrateKbps int
+	SizeBytes   int64
+	DurationSec float64 // seconds of video in the chunk (τ)
+
+	// Player, rendering path.
+	BufCount       int     // rebuffering events charged to this chunk
+	BufDurMS       float64 // rebuffering time charged to this chunk
+	Visible        bool    // player visibility during playout
+	AvgFPS         float64
+	DroppedFrames  int
+	TotalFrames    int
+	HardwareRender bool
+
+	// CDN, application layer.
+	DwaitMS    float64
+	DopenMS    float64
+	DreadMS    float64
+	DBEms      float64
+	CacheHit   bool   // served without a backend fetch
+	CacheLevel string // "ram", "disk", "miss"
+	RetryTimer bool   // the ATS open-read retry timer fired
+
+	// CDN, TCP layer (kernel snapshot at chunk completion plus per-chunk
+	// deltas derived from the 500 ms sampling).
+	CWND      int
+	SRTTms    float64
+	SRTTVarMS float64
+	MSS       int
+	RetxTotal int // cumulative connection retransmissions at chunk end
+	SegsSent  int // segments sent for this chunk
+	SegsLost  int // segments retransmitted for this chunk
+
+	// Model ground truth, present only in simulated traces. Analyses must
+	// not read these; tests use them to validate the detection methods.
+	TruthDDSms     float64
+	TruthTransient bool
+}
+
+// LossRate returns the chunk's retransmission rate.
+func (c ChunkRecord) LossRate() float64 {
+	if c.SegsSent == 0 {
+		return 0
+	}
+	return float64(c.SegsLost) / float64(c.SegsSent)
+}
+
+// DCDNms returns the CDN service latency Dwait + Dopen + Dread.
+func (c ChunkRecord) DCDNms() float64 { return c.DwaitMS + c.DopenMS + c.DreadMS }
+
+// ServerLatencyMS returns the total server-side latency D_CDN + D_BE.
+func (c ChunkRecord) ServerLatencyMS() float64 { return c.DCDNms() + c.DBEms }
+
+// RTT0UpperBoundMS is the Eq. 1 rearrangement the paper uses as an upper
+// bound on the chunk's initial network round trip:
+// D_FB − (D_CDN + D_BE) = rtt0 + D_DS >= rtt0.
+func (c ChunkRecord) RTT0UpperBoundMS() float64 {
+	v := c.DFBms - c.DCDNms() - c.DBEms
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// BaselineRTTSampleMS is the per-chunk baseline latency sample used in
+// §4.2: min(SRTT, rtt0-upper-bound), filtering out self-loading inflation.
+func (c ChunkRecord) BaselineRTTSampleMS() float64 {
+	rtt0 := c.RTT0UpperBoundMS()
+	if c.SRTTms > 0 && c.SRTTms < rtt0 {
+		return c.SRTTms
+	}
+	return rtt0
+}
+
+// DownloadRateSecPerSec is the paper's §4.4 chunk download rate
+// τ / (D_FB + D_LB), in seconds of video per wall-clock second.
+func (c ChunkRecord) DownloadRateSecPerSec() float64 {
+	wall := (c.DFBms + c.DLBms) / 1000
+	if wall <= 0 {
+		return 0
+	}
+	return c.DurationSec / wall
+}
+
+// PerfScore is Eq. 2: τ / (D_FB + D_LB). Scores below 1 mark chunks that
+// drain the playback buffer.
+func (c ChunkRecord) PerfScore() float64 { return c.DownloadRateSecPerSec() }
+
+// InstantThroughputKbps is the player's naive per-chunk throughput
+// estimate: chunk bits / D_LB — the quantity download-stack buffering
+// inflates.
+func (c ChunkRecord) InstantThroughputKbps() float64 {
+	if c.DLBms <= 0 {
+		return 0
+	}
+	return float64(c.SizeBytes) * 8 / c.DLBms
+}
+
+// ConnThroughputKbps is the server-side Eq. 3 estimate MSS·CWND/SRTT.
+func (c ChunkRecord) ConnThroughputKbps() float64 {
+	if c.SRTTms <= 0 {
+		return 0
+	}
+	return float64(c.MSS*c.CWND) * 8 / c.SRTTms
+}
+
+// DroppedFrac returns the chunk's dropped-frame fraction.
+func (c ChunkRecord) DroppedFrac() float64 {
+	if c.TotalFrames == 0 {
+		return 0
+	}
+	return float64(c.DroppedFrames) / float64(c.TotalFrames)
+}
+
+// SessionRecord is the per-session metadata and QoE summary (Table 3).
+type SessionRecord struct {
+	SessionID uint64
+
+	// Client identity as the CDN and the beacon pipeline each see it.
+	HTTPClientIP   string // source IP of the HTTP requests at the CDN
+	BeaconIP       string // IP reported by the player beacon
+	UserAgent      string
+	OS             string
+	Browser        string
+	PopularBrowser bool
+
+	// Content.
+	VideoID     int
+	VideoRank   int
+	VideoLenSec float64
+	NumChunks   int // chunks actually fetched
+
+	// Topology.
+	PrefixID   int
+	Prefix     string // "/24" label
+	Country    string
+	US         bool
+	PoP        int
+	ServerID   int
+	OrgName    string  // ISP or enterprise label
+	OrgType    string  // "residential" | "enterprise" | "small-business"
+	ConnType   string  // access technology label
+	DistanceKM float64 // client to serving PoP
+
+	// QoE.
+	StartupMS      float64
+	RebufCount     int
+	RebufDurMS     float64
+	RebufferRate   float64 // fraction of session time stalled
+	AvgBitrateKbps float64
+	PlayedSec      float64
+
+	// TCP summary over the session's 500 ms kernel samples.
+	SRTTMinMS  float64
+	SRTTMeanMS float64
+	SRTTStdMS  float64
+	SRTTCV     float64
+	RetxRate   float64 // lost/sent over the whole session
+	HadLoss    bool
+
+	// Client environment (from the beacon).
+	GPU      bool
+	CPUCores int
+	CPULoad  float64
+
+	// Filled by preprocessing.
+	ProxySuspected bool
+}
+
+// Dataset is a joined trace: one SessionRecord per session and its
+// ChunkRecords in (SessionID, ChunkID) order.
+type Dataset struct {
+	Sessions []SessionRecord
+	Chunks   []ChunkRecord
+
+	byID map[uint64]int // session index
+}
+
+// Index builds the session lookup table; call after mutating Sessions.
+func (d *Dataset) Index() {
+	d.byID = make(map[uint64]int, len(d.Sessions))
+	for i := range d.Sessions {
+		d.byID[d.Sessions[i].SessionID] = i
+	}
+}
+
+// Session returns the session record for id, or nil.
+func (d *Dataset) Session(id uint64) *SessionRecord {
+	if d.byID == nil {
+		d.Index()
+	}
+	if i, ok := d.byID[id]; ok {
+		return &d.Sessions[i]
+	}
+	return nil
+}
+
+// ChunksBySession groups chunk indices by session ID, preserving order.
+func (d *Dataset) ChunksBySession() map[uint64][]int {
+	m := make(map[uint64][]int, len(d.Sessions))
+	for i := range d.Chunks {
+		m[d.Chunks[i].SessionID] = append(m[d.Chunks[i].SessionID], i)
+	}
+	return m
+}
+
+// String summarizes the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("dataset{%d sessions, %d chunks}", len(d.Sessions), len(d.Chunks))
+}

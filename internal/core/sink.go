@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL streams the dataset as JSON lines: one {"session": ...} or
+// {"chunk": ...} object per line, sessions first. The format is the
+// trace-exchange format between cmd/vodsim and cmd/analyze.
+func WriteJSONL(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range d.Sessions {
+		if err := enc.Encode(jsonlLine{Session: &d.Sessions[i]}); err != nil {
+			return fmt.Errorf("core: write session: %w", err)
+		}
+	}
+	for i := range d.Chunks {
+		if err := enc.Encode(jsonlLine{Chunk: &d.Chunks[i]}); err != nil {
+			return fmt.Errorf("core: write chunk: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+type jsonlLine struct {
+	Session *SessionRecord `json:"session,omitempty"`
+	Chunk   *ChunkRecord   `json:"chunk,omitempty"`
+}
+
+// ReadJSONL loads a dataset written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var line jsonlLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("core: read trace: %w", err)
+		}
+		switch {
+		case line.Session != nil:
+			d.Sessions = append(d.Sessions, *line.Session)
+		case line.Chunk != nil:
+			d.Chunks = append(d.Chunks, *line.Chunk)
+		}
+	}
+	d.Index()
+	return d, nil
+}
+
+// WriteChunksCSV exports the chunk table for external tooling
+// (spreadsheets, pandas). Ground-truth columns are intentionally omitted.
+func WriteChunksCSV(w io.Writer, chunks []ChunkRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"session_id", "chunk_id", "dfb_ms", "dlb_ms", "bitrate_kbps",
+		"size_bytes", "duration_sec", "dwait_ms", "dopen_ms", "dread_ms",
+		"dbe_ms", "cache_hit", "cache_level", "retry_timer",
+		"cwnd", "srtt_ms", "srttvar_ms", "mss", "retx_total",
+		"segs_sent", "segs_lost", "buf_count", "buf_dur_ms",
+		"visible", "avg_fps", "dropped_frames", "total_frames", "hw_render",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range chunks {
+		c := &chunks[i]
+		rec := []string{
+			strconv.FormatUint(c.SessionID, 10),
+			strconv.Itoa(c.ChunkID),
+			f(c.DFBms), f(c.DLBms),
+			strconv.Itoa(c.BitrateKbps),
+			strconv.FormatInt(c.SizeBytes, 10),
+			f(c.DurationSec),
+			f(c.DwaitMS), f(c.DopenMS), f(c.DreadMS), f(c.DBEms),
+			b(c.CacheHit), c.CacheLevel, b(c.RetryTimer),
+			strconv.Itoa(c.CWND), f(c.SRTTms), f(c.SRTTVarMS),
+			strconv.Itoa(c.MSS), strconv.Itoa(c.RetxTotal),
+			strconv.Itoa(c.SegsSent), strconv.Itoa(c.SegsLost),
+			strconv.Itoa(c.BufCount), f(c.BufDurMS),
+			b(c.Visible), f(c.AvgFPS),
+			strconv.Itoa(c.DroppedFrames), strconv.Itoa(c.TotalFrames),
+			b(c.HardwareRender),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSessionsCSV exports the session table.
+func WriteSessionsCSV(w io.Writer, sessions []SessionRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"session_id", "user_agent", "os", "browser", "video_id", "video_rank",
+		"video_len_sec", "num_chunks", "prefix", "country", "us", "pop",
+		"server_id", "org_name", "org_type", "conn_type", "distance_km",
+		"startup_ms", "rebuf_count", "rebuf_dur_ms", "rebuffer_rate",
+		"avg_bitrate_kbps", "played_sec", "srtt_min_ms", "srtt_mean_ms",
+		"srtt_std_ms", "srtt_cv", "retx_rate", "had_loss",
+		"gpu", "cpu_cores", "cpu_load",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		rec := []string{
+			strconv.FormatUint(s.SessionID, 10),
+			s.UserAgent, s.OS, s.Browser,
+			strconv.Itoa(s.VideoID), strconv.Itoa(s.VideoRank),
+			f(s.VideoLenSec), strconv.Itoa(s.NumChunks),
+			s.Prefix, s.Country, b(s.US), strconv.Itoa(s.PoP),
+			strconv.Itoa(s.ServerID), s.OrgName, s.OrgType, s.ConnType,
+			f(s.DistanceKM), f(s.StartupMS),
+			strconv.Itoa(s.RebufCount), f(s.RebufDurMS), f(s.RebufferRate),
+			f(s.AvgBitrateKbps), f(s.PlayedSec),
+			f(s.SRTTMinMS), f(s.SRTTMeanMS), f(s.SRTTStdMS), f(s.SRTTCV),
+			f(s.RetxRate), b(s.HadLoss),
+			b(s.GPU), strconv.Itoa(s.CPUCores), f(s.CPULoad),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func b(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

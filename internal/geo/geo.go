@@ -1,0 +1,147 @@
+// Package geo models the geography of the measurement: CDN points of
+// presence, client locations, great-circle distances, and the propagation
+// component of round-trip latency. The paper's network findings (persistent
+// tail latency from distance, the 75%/25% non-US/US split of tail prefixes,
+// close-by enterprise prefixes with bad latency) all hinge on this geometry.
+package geo
+
+import "math"
+
+// Coord is a latitude/longitude pair in degrees.
+type Coord struct {
+	Lat, Lon float64
+}
+
+const earthRadiusKM = 6371.0
+
+// DistanceKM returns the great-circle (haversine) distance between a and b
+// in kilometers.
+func DistanceKM(a, b Coord) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dlat := lat2 - lat1
+	dlon := (b.Lon - a.Lon) * math.Pi / 180
+	h := math.Sin(dlat/2)*math.Sin(dlat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dlon/2)*math.Sin(dlon/2)
+	return 2 * earthRadiusKM * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// PropagationRTTms converts a one-way fiber distance to a round-trip
+// propagation delay in milliseconds. Light in fiber covers ~200 km/ms;
+// real paths are longer than great circles, so pathStretch (typically
+// 1.5–2.5) inflates the geometric distance.
+func PropagationRTTms(distanceKM, pathStretch float64) float64 {
+	return 2 * distanceKM * pathStretch / 200.0
+}
+
+// PoP is a CDN point of presence.
+type PoP struct {
+	ID   int
+	Name string
+	Loc  Coord
+}
+
+// DefaultPoPs returns the US CDN footprint used by the default scenario:
+// six metro PoPs roughly matching a commercial provider's national build.
+func DefaultPoPs() []PoP {
+	return []PoP{
+		{0, "us-west-1 (Sunnyvale)", Coord{37.37, -122.04}},
+		{1, "us-west-2 (Seattle)", Coord{47.61, -122.33}},
+		{2, "us-central (Dallas)", Coord{32.78, -96.80}},
+		{3, "us-east-1 (Ashburn)", Coord{39.04, -77.49}},
+		{4, "us-east-2 (New York)", Coord{40.71, -74.01}},
+		{5, "us-southeast (Atlanta)", Coord{33.75, -84.39}},
+	}
+}
+
+// NearestPoP returns the index within pops of the PoP closest to loc and
+// the distance to it in kilometers. It panics if pops is empty.
+func NearestPoP(loc Coord, pops []PoP) (idx int, distKM float64) {
+	if len(pops) == 0 {
+		panic("geo: NearestPoP with no PoPs")
+	}
+	idx, distKM = 0, DistanceKM(loc, pops[0].Loc)
+	for i := 1; i < len(pops); i++ {
+		if d := DistanceKM(loc, pops[i].Loc); d < distKM {
+			idx, distKM = i, d
+		}
+	}
+	return idx, distKM
+}
+
+// City is a weighted population center clients are drawn from.
+type City struct {
+	Name    string
+	Country string // ISO-3166 alpha-2
+	Loc     Coord
+	Weight  float64 // relative share of client sessions
+}
+
+// USCities returns the domestic population centers for client sampling,
+// weighted approximately by metro population.
+func USCities() []City {
+	return []City{
+		{"New York", "US", Coord{40.71, -74.01}, 19.8},
+		{"Los Angeles", "US", Coord{34.05, -118.24}, 12.5},
+		{"Chicago", "US", Coord{41.88, -87.63}, 9.5},
+		{"Dallas", "US", Coord{32.78, -96.80}, 7.6},
+		{"Houston", "US", Coord{29.76, -95.37}, 7.1},
+		{"Washington DC", "US", Coord{38.91, -77.04}, 6.3},
+		{"Philadelphia", "US", Coord{39.95, -75.17}, 6.1},
+		{"Miami", "US", Coord{25.76, -80.19}, 6.1},
+		{"Atlanta", "US", Coord{33.75, -84.39}, 6.0},
+		{"Boston", "US", Coord{42.36, -71.06}, 4.9},
+		{"Phoenix", "US", Coord{33.45, -112.07}, 4.8},
+		{"San Francisco", "US", Coord{37.77, -122.42}, 4.7},
+		{"Seattle", "US", Coord{47.61, -122.33}, 4.0},
+		{"Minneapolis", "US", Coord{44.98, -93.27}, 3.6},
+		{"Denver", "US", Coord{39.74, -104.99}, 2.9},
+		{"Salt Lake City", "US", Coord{40.76, -111.89}, 1.2},
+		{"Kansas City", "US", Coord{39.10, -94.58}, 2.1},
+		{"Portland", "US", Coord{45.52, -122.68}, 2.5},
+		{"Charlotte", "US", Coord{35.23, -80.84}, 2.6},
+		{"Anchorage", "US", Coord{61.22, -149.90}, 0.4},
+		{"Honolulu", "US", Coord{21.31, -157.86}, 1.0},
+	}
+}
+
+// InternationalCities returns the non-US population centers. The paper's
+// dataset is >93% North American but the tail-latency prefixes are 75%
+// international, spread over 96 countries; a broad footprint with small
+// weights reproduces that.
+func InternationalCities() []City {
+	return []City{
+		{"Toronto", "CA", Coord{43.65, -79.38}, 6.2},
+		{"Vancouver", "CA", Coord{49.28, -123.12}, 2.5},
+		{"Mexico City", "MX", Coord{19.43, -99.13}, 4.0},
+		{"London", "GB", Coord{51.51, -0.13}, 5.5},
+		{"Paris", "FR", Coord{48.86, 2.35}, 3.2},
+		{"Berlin", "DE", Coord{52.52, 13.41}, 3.0},
+		{"Madrid", "ES", Coord{40.42, -3.70}, 2.2},
+		{"Rome", "IT", Coord{41.90, 12.50}, 2.0},
+		{"Amsterdam", "NL", Coord{52.37, 4.89}, 1.6},
+		{"Stockholm", "SE", Coord{59.33, 18.07}, 1.1},
+		{"Warsaw", "PL", Coord{52.23, 21.01}, 1.3},
+		{"Moscow", "RU", Coord{55.76, 37.62}, 2.1},
+		{"Istanbul", "TR", Coord{41.01, 28.98}, 1.6},
+		{"Tel Aviv", "IL", Coord{32.09, 34.78}, 1.0},
+		{"Dubai", "AE", Coord{25.20, 55.27}, 1.0},
+		{"Mumbai", "IN", Coord{19.08, 72.88}, 2.8},
+		{"Singapore", "SG", Coord{1.35, 103.82}, 1.5},
+		{"Hong Kong", "HK", Coord{22.32, 114.17}, 1.5},
+		{"Tokyo", "JP", Coord{35.68, 139.69}, 2.4},
+		{"Seoul", "KR", Coord{37.57, 126.98}, 1.6},
+		{"Taipei", "TW", Coord{25.03, 121.57}, 1.0},
+		{"Manila", "PH", Coord{14.60, 120.98}, 1.2},
+		{"Sydney", "AU", Coord{-33.87, 151.21}, 2.0},
+		{"Auckland", "NZ", Coord{-36.85, 174.76}, 0.6},
+		{"São Paulo", "BR", Coord{-23.55, -46.63}, 2.6},
+		{"Buenos Aires", "AR", Coord{-34.60, -58.38}, 1.2},
+		{"Bogotá", "CO", Coord{4.71, -74.07}, 0.9},
+		{"Santiago", "CL", Coord{-33.45, -70.67}, 0.8},
+		{"Johannesburg", "ZA", Coord{-26.20, 28.05}, 0.8},
+		{"Lagos", "NG", Coord{6.52, 3.38}, 0.7},
+		{"Cairo", "EG", Coord{30.04, 31.24}, 0.8},
+		{"Nairobi", "KE", Coord{-1.29, 36.82}, 0.4},
+	}
+}

@@ -1,0 +1,146 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	ny := Coord{40.71, -74.01}
+	la := Coord{34.05, -118.24}
+	sf := Coord{37.77, -122.42}
+	london := Coord{51.51, -0.13}
+
+	cases := []struct {
+		name    string
+		a, b    Coord
+		wantKM  float64
+		tolFrac float64
+	}{
+		{"NY-LA", ny, la, 3940, 0.03},
+		{"SF-NY", sf, ny, 4130, 0.03},
+		{"NY-London", ny, london, 5570, 0.03},
+	}
+	for _, c := range cases {
+		got := DistanceKM(c.a, c.b)
+		if math.Abs(got-c.wantKM)/c.wantKM > c.tolFrac {
+			t.Errorf("%s: got %.0f km, want ~%.0f km", c.name, got, c.wantKM)
+		}
+	}
+}
+
+func TestDistanceZeroAndSymmetry(t *testing.T) {
+	a := Coord{37, -122}
+	if d := DistanceKM(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	b := Coord{40, -74}
+	if math.Abs(DistanceKM(a, b)-DistanceKM(b, a)) > 1e-9 {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestPropagationRTT(t *testing.T) {
+	// 1000 km at stretch 1.0: RTT = 2*1000/200 = 10 ms.
+	if got := PropagationRTTms(1000, 1.0); got != 10 {
+		t.Errorf("RTT = %v, want 10", got)
+	}
+	// Stretch scales linearly.
+	if got := PropagationRTTms(1000, 2.0); got != 20 {
+		t.Errorf("RTT = %v, want 20", got)
+	}
+}
+
+func TestNearestPoP(t *testing.T) {
+	pops := DefaultPoPs()
+	// A client in Oakland should map to Sunnyvale (PoP 0).
+	idx, d := NearestPoP(Coord{37.80, -122.27}, pops)
+	if idx != 0 {
+		t.Errorf("Oakland → PoP %d (%s), want 0", idx, pops[idx].Name)
+	}
+	if d <= 0 || d > 120 {
+		t.Errorf("Oakland distance = %v km", d)
+	}
+	// A client in Boston should map to New York (PoP 4).
+	idx, _ = NearestPoP(Coord{42.36, -71.06}, pops)
+	if idx != 4 {
+		t.Errorf("Boston → PoP %d (%s), want 4 (New York)", idx, pops[idx].Name)
+	}
+}
+
+func TestNearestPoPPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NearestPoP(Coord{0, 0}, nil)
+}
+
+func TestCityTablesSane(t *testing.T) {
+	us := USCities()
+	intl := InternationalCities()
+	if len(us) < 15 {
+		t.Errorf("only %d US cities", len(us))
+	}
+	if len(intl) < 25 {
+		t.Errorf("only %d international cities", len(intl))
+	}
+	for _, c := range us {
+		if c.Country != "US" {
+			t.Errorf("US city %s has country %s", c.Name, c.Country)
+		}
+		if c.Weight <= 0 {
+			t.Errorf("city %s has non-positive weight", c.Name)
+		}
+	}
+	countries := make(map[string]bool)
+	for _, c := range intl {
+		if c.Country == "US" {
+			t.Errorf("international city %s marked US", c.Name)
+		}
+		countries[c.Country] = true
+	}
+	if len(countries) < 20 {
+		t.Errorf("international footprint covers only %d countries", len(countries))
+	}
+}
+
+// Property: haversine distance satisfies non-negativity, symmetry, and an
+// upper bound of half the Earth's circumference.
+func TestDistanceMetricProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{math.Mod(lat1, 90), math.Mod(lon1, 180)}
+		b := Coord{math.Mod(lat2, 90), math.Mod(lon2, 180)}
+		if math.IsNaN(a.Lat) || math.IsNaN(a.Lon) || math.IsNaN(b.Lat) || math.IsNaN(b.Lon) {
+			return true
+		}
+		d := DistanceKM(a, b)
+		return d >= 0 && d <= 20016 && math.Abs(d-DistanceKM(b, a)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NearestPoP always returns the argmin.
+func TestNearestPoPIsArgminProperty(t *testing.T) {
+	pops := DefaultPoPs()
+	f := func(lat, lon float64) bool {
+		loc := Coord{math.Mod(lat, 90), math.Mod(lon, 180)}
+		if math.IsNaN(loc.Lat) || math.IsNaN(loc.Lon) {
+			return true
+		}
+		idx, d := NearestPoP(loc, pops)
+		for _, p := range pops {
+			if DistanceKM(loc, p.Loc) < d-1e-9 {
+				return false
+			}
+		}
+		return math.Abs(DistanceKM(loc, pops[idx].Loc)-d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package httpstream
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptrace"
+	"strconv"
+	"time"
+
+	"vidperf/internal/core"
+	"vidperf/internal/player"
+)
+
+// PlayResult is one streamed session's client-side view.
+type PlayResult struct {
+	Chunks       []core.ChunkRecord
+	StartupMS    float64
+	RebufCount   int
+	RebufDurMS   float64
+	RebufferRate float64
+}
+
+// Player streams chunks from a chunk server over one keep-alive TCP
+// connection, measuring the paper's per-chunk milestones.
+type Player struct {
+	BaseURL string // e.g. "http://127.0.0.1:8639"
+	// BitrateKbps selects the chunk size (fixed-rate client; the
+	// simulator owns the ABR experiments).
+	BitrateKbps int
+	// ChunkSec is the seconds of video per chunk (default 6).
+	ChunkSec float64
+	// StartThresholdSec gates playback start (default 6).
+	StartThresholdSec float64
+
+	client *http.Client
+}
+
+// NewPlayer builds a player for the given server URL.
+func NewPlayer(baseURL string, bitrateKbps int) *Player {
+	return &Player{
+		BaseURL:     baseURL,
+		BitrateKbps: bitrateKbps,
+		ChunkSec:    6,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        1,
+				MaxIdleConnsPerHost: 1,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		},
+	}
+}
+
+// Play streams chunks 0..n-1 of videoID, returning per-chunk records and
+// the session QoE summary.
+func (p *Player) Play(sessionID uint64, videoID, n int) (PlayResult, error) {
+	chunkSec := p.ChunkSec
+	if chunkSec == 0 {
+		chunkSec = 6
+	}
+	thr := p.StartThresholdSec
+	if thr == 0 {
+		thr = 6
+	}
+	pl := player.New(thr)
+	res := PlayResult{}
+	wallStart := time.Now()
+
+	for idx := 0; idx < n; idx++ {
+		rec, err := p.fetchChunk(sessionID, videoID, idx)
+		if err != nil {
+			return res, fmt.Errorf("httpstream: chunk %d: %w", idx, err)
+		}
+		rec.DurationSec = chunkSec
+		now := float64(time.Since(wallStart).Microseconds()) / 1000
+		before := pl.RebufCount()
+		beforeMS := pl.RebufDurMS()
+		pl.OnChunkDownloaded(now, chunkSec)
+		rec.BufCount = pl.RebufCount() - before
+		rec.BufDurMS = pl.RebufDurMS() - beforeMS
+		res.Chunks = append(res.Chunks, rec)
+	}
+	pl.Finish()
+	res.StartupMS = pl.StartupMS()
+	res.RebufCount = pl.RebufCount()
+	res.RebufDurMS = pl.RebufDurMS()
+	res.RebufferRate = pl.RebufferRate()
+	return res, nil
+}
+
+// fetchChunk downloads one chunk, measuring D_FB (request to first
+// response byte) and D_LB (first byte to last byte) and joining the
+// server-side breakdown from the response headers.
+func (p *Player) fetchChunk(sessionID uint64, videoID, idx int) (core.ChunkRecord, error) {
+	url := fmt.Sprintf("%s/video/%d/chunk/%d?kbps=%d", p.BaseURL, videoID, idx, p.BitrateKbps)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return core.ChunkRecord{}, err
+	}
+
+	var sent, firstByte time.Time
+	trace := &httptrace.ClientTrace{
+		WroteRequest:         func(httptrace.WroteRequestInfo) { sent = time.Now() },
+		GotFirstResponseByte: func() { firstByte = time.Now() },
+	}
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
+
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return core.ChunkRecord{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return core.ChunkRecord{}, fmt.Errorf("status %s", resp.Status)
+	}
+	nBytes, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return core.ChunkRecord{}, err
+	}
+	lastByte := time.Now()
+	if sent.IsZero() || firstByte.IsZero() {
+		return core.ChunkRecord{}, fmt.Errorf("trace callbacks missing")
+	}
+
+	rec := core.ChunkRecord{
+		SessionID:   sessionID,
+		ChunkID:     idx,
+		BitrateKbps: p.BitrateKbps,
+		SizeBytes:   nBytes,
+		DFBms:       float64(firstByte.Sub(sent).Microseconds()) / 1000,
+		DLBms:       float64(lastByte.Sub(firstByte).Microseconds()) / 1000,
+		Visible:     true,
+		CacheHit:    resp.Header.Get(HeaderCacheStatus) == "HIT",
+		RetryTimer:  resp.Header.Get(HeaderRetryTimer) == "1",
+	}
+	rec.DreadMS = headerFloat(resp, HeaderDCDN)
+	rec.DBEms = headerFloat(resp, HeaderDBE)
+	if rec.CacheHit {
+		rec.CacheLevel = "ram"
+	} else {
+		rec.CacheLevel = "miss"
+	}
+	return rec, nil
+}
+
+func headerFloat(resp *http.Response, name string) float64 {
+	v, err := strconv.ParseFloat(resp.Header.Get(name), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,155 @@
+package httpstream
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func fastConfig() ServerConfig {
+	return ServerConfig{
+		CacheBytes:     8 << 20,
+		OpenRetryDelay: 2 * time.Millisecond,
+		BackendDelay:   15 * time.Millisecond,
+		ChunkBytes:     32 << 10,
+	}
+}
+
+func TestServeMissThenHit(t *testing.T) {
+	srv := NewServer(fastConfig())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func() *http.Response {
+		resp, err := http.Get(ts.URL + "/video/1/chunk/0?kbps=100")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := get()
+	if first.Header.Get(HeaderCacheStatus) != "MISS" {
+		t.Errorf("first fetch = %s, want MISS", first.Header.Get(HeaderCacheStatus))
+	}
+	if first.Header.Get(HeaderRetryTimer) != "1" {
+		t.Error("miss should fire the retry timer")
+	}
+	second := get()
+	if second.Header.Get(HeaderCacheStatus) != "HIT" {
+		t.Errorf("second fetch = %s, want HIT", second.Header.Get(HeaderCacheStatus))
+	}
+	if srv.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", srv.HitRatio())
+	}
+}
+
+func TestServeContentLengthAndPayload(t *testing.T) {
+	ts := httptest.NewServer(NewServer(fastConfig()))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/video/3/chunk/2?kbps=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64 * 1000 / 8 * 6
+	if len(body) != want {
+		t.Errorf("body = %d bytes, want %d", len(body), want)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	ts := httptest.NewServer(NewServer(fastConfig()))
+	defer ts.Close()
+	for _, path := range []string{"/", "/video/x/chunk/0", "/video/1/segment/0", "/video/1/chunk/-1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPlayerMeasuresMilestones(t *testing.T) {
+	ts := httptest.NewServer(NewServer(fastConfig()))
+	defer ts.Close()
+
+	p := NewPlayer(ts.URL, 100)
+	res, err := p.Play(1, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 5 {
+		t.Fatalf("chunks = %d", len(res.Chunks))
+	}
+	for i, c := range res.Chunks {
+		if c.ChunkID != i {
+			t.Fatalf("chunk order broken")
+		}
+		if c.DFBms <= 0 || c.DLBms < 0 {
+			t.Fatalf("chunk %d missing delays: %+v", i, c)
+		}
+		if c.SizeBytes != 100*1000/8*6 {
+			t.Fatalf("chunk %d size %d", i, c.SizeBytes)
+		}
+	}
+	// First fetch misses (backend emulation) and must show a clearly
+	// larger D_FB than a later hit.
+	if res.Chunks[0].CacheHit {
+		t.Error("chunk 0 should miss on a cold server")
+	}
+	if !res.Chunks[0].RetryTimer {
+		t.Error("chunk 0 should record the retry timer")
+	}
+	if res.Chunks[0].DBEms <= 0 {
+		t.Error("chunk 0 missing D_BE")
+	}
+	// Replay the same video: all hits now, faster first byte.
+	res2, err := p.Play(2, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res2.Chunks {
+		if !c.CacheHit {
+			t.Errorf("replay chunk %d missed", i)
+		}
+	}
+	if res2.Chunks[0].DFBms >= res.Chunks[0].DFBms {
+		t.Errorf("hit D_FB %.1f not below miss D_FB %.1f",
+			res2.Chunks[0].DFBms, res.Chunks[0].DFBms)
+	}
+	if res.StartupMS <= 0 {
+		t.Error("no startup recorded")
+	}
+}
+
+func TestEqOneHoldsOnRealStack(t *testing.T) {
+	// D_FB must be at least the server-side components (Eq. 1 with
+	// rtt0, D_DS >= 0) on a real socket.
+	ts := httptest.NewServer(NewServer(fastConfig()))
+	defer ts.Close()
+	p := NewPlayer(ts.URL, 200)
+	res, err := p.Play(3, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Chunks {
+		if c.DFBms < c.DreadMS+c.DBEms-2 { // 2 ms tolerance for clock skew
+			t.Errorf("Eq.1 violated on real stack: DFB=%.2f < server=%.2f",
+				c.DFBms, c.DreadMS+c.DBEms)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package httpstream is a runnable miniature of the paper's delivery path
+// on a real network stack: an ATS-like caching chunk server (net/http,
+// LRU RAM cache, emulated open-read-retry timer and backend fetch) and a
+// player client that streams chunks over one TCP connection, measures the
+// paper's per-chunk milestones (D_FB, D_LB, server-side breakdown via
+// response headers), and feeds a playback buffer. It demonstrates that the
+// instrumentation methodology — the paper's actual contribution — is
+// implementable outside the simulator.
+package httpstream
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vidperf/internal/cache"
+)
+
+// Header names carrying the server-side measurements to the client, the
+// real-system equivalent of the CDN-side beacon join.
+const (
+	HeaderCacheStatus = "X-Cache"   // HIT or MISS
+	HeaderDCDN        = "X-Dcdn-Ms" // server latency before first byte
+	HeaderDBE         = "X-Dbe-Ms"  // backend latency (0 on hits)
+	HeaderRetryTimer  = "X-Retry"   // "1" when the open-retry timer fired
+)
+
+// ServerConfig tunes the chunk server.
+type ServerConfig struct {
+	// CacheBytes is the RAM cache capacity (default 64 MiB).
+	CacheBytes int64
+	// OpenRetryDelay emulates the ATS open-read retry timer applied when
+	// the object is not in RAM (default 10 ms).
+	OpenRetryDelay time.Duration
+	// BackendDelay emulates the origin fetch on a miss (default 80 ms).
+	BackendDelay time.Duration
+	// ChunkBytes sizes each served chunk when the request does not
+	// specify a bitrate (default 256 KiB).
+	ChunkBytes int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.OpenRetryDelay == 0 {
+		c.OpenRetryDelay = 10 * time.Millisecond
+	}
+	if c.BackendDelay == 0 {
+		c.BackendDelay = 80 * time.Millisecond
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 256 << 10
+	}
+	return c
+}
+
+// Server is the caching chunk server. It implements http.Handler for
+// paths of the form /video/{videoID}/chunk/{chunkID}?kbps={bitrate}.
+type Server struct {
+	cfg ServerConfig
+
+	mu    sync.Mutex
+	cache *cache.LRU
+
+	// Metrics.
+	Requests int64
+	Hits     int64
+}
+
+// NewServer builds a chunk server.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{cfg: cfg, cache: cache.NewLRU(cfg.CacheBytes)}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	videoID, chunkID, ok := parseChunkPath(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	size := s.cfg.ChunkBytes
+	if kbps := r.URL.Query().Get("kbps"); kbps != "" {
+		if v, err := strconv.Atoi(kbps); err == nil && v > 0 {
+			size = v * 1000 / 8 * 6 // six seconds of video
+		}
+	}
+	key := chunkKey(videoID, chunkID, size)
+
+	start := time.Now()
+	s.mu.Lock()
+	s.Requests++
+	hit := s.cache.Get(key)
+	if hit {
+		s.Hits++
+	}
+	s.mu.Unlock()
+
+	var dbe time.Duration
+	retry := false
+	if !hit {
+		// Open attempt fails; the retry timer fires, then the backend
+		// fetch is pipelined into the response.
+		retry = true
+		time.Sleep(s.cfg.OpenRetryDelay)
+		dbe = s.cfg.BackendDelay
+		time.Sleep(dbe)
+		s.mu.Lock()
+		s.cache.Put(key, int64(size))
+		s.mu.Unlock()
+	}
+	dcdn := time.Since(start) - dbe
+
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", strconv.Itoa(size))
+	w.Header().Set(HeaderCacheStatus, cacheStatus(hit))
+	w.Header().Set(HeaderDCDN, fmt.Sprintf("%.3f", float64(dcdn.Microseconds())/1000))
+	w.Header().Set(HeaderDBE, fmt.Sprintf("%.3f", float64(dbe.Microseconds())/1000))
+	if retry {
+		w.Header().Set(HeaderRetryTimer, "1")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	// Stream deterministic payload without allocating the whole chunk.
+	buf := make([]byte, 32<<10)
+	for i := range buf {
+		buf[i] = byte(videoID + chunkID + i)
+	}
+	remaining := size
+	for remaining > 0 {
+		n := len(buf)
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		remaining -= n
+	}
+}
+
+// HitRatio returns the server's cache hit ratio so far.
+func (s *Server) HitRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+func cacheStatus(hit bool) string {
+	if hit {
+		return "HIT"
+	}
+	return "MISS"
+}
+
+func chunkKey(videoID, chunkID, size int) uint64 {
+	return uint64(videoID)<<40 | uint64(uint32(chunkID))<<16 | uint64(size&0xffff)
+}
+
+// parseChunkPath extracts /video/{v}/chunk/{c}.
+func parseChunkPath(path string) (videoID, chunkID int, ok bool) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) != 4 || parts[0] != "video" || parts[2] != "chunk" {
+		return 0, 0, false
+	}
+	v, err1 := strconv.Atoi(parts[1])
+	c, err2 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil || v < 0 || c < 0 {
+		return 0, 0, false
+	}
+	return v, c, true
+}

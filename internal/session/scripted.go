@@ -1,0 +1,95 @@
+package session
+
+import (
+	"math"
+
+	"vidperf/internal/core"
+	"vidperf/internal/player"
+	"vidperf/internal/stats"
+	"vidperf/internal/tcpmodel"
+)
+
+// Script describes a fully controlled single session, used by the paper's
+// case-study figures: Fig. 13 (early vs late loss, all else equal) and
+// Fig. 17 (a download-stack-buffered chunk in an otherwise clean session).
+type Script struct {
+	Seed             uint64
+	Path             tcpmodel.Params
+	Chunks           int
+	BitrateKbps      int
+	ChunkDurationSec float64 // default 6
+
+	// LossProbByChunk overrides the path's random-loss probability for
+	// given chunk indices (others use the path default).
+	LossProbByChunk map[int]float64
+	// TransientAtChunk injects a download-stack buffering event of the
+	// given delay (ms) at the given chunk indices.
+	TransientAtChunk map[int]float64
+
+	// ServerLatencyMS is the fixed D_CDN for every chunk (cache hits).
+	ServerLatencyMS float64
+	// StartThresholdSec is the player start/resume threshold (default 6).
+	StartThresholdSec float64
+}
+
+// RunScripted executes the script sequentially (one session needs no
+// event interleaving) and returns its chunk records.
+func RunScripted(s Script) []core.ChunkRecord {
+	if s.ChunkDurationSec == 0 {
+		s.ChunkDurationSec = 6
+	}
+	if s.StartThresholdSec == 0 {
+		s.StartThresholdSec = 6
+	}
+	r := stats.NewRand(s.Seed ^ 0x5c819fed)
+	conn := tcpmodel.New(s.Path, r.Split())
+	play := player.New(s.StartThresholdSec)
+	defaultLoss := s.Path.RandomLossProb
+
+	var recs []core.ChunkRecord
+	now := 0.0
+	prevRebufN, prevRebufMS := 0, 0.0
+	for idx := 0; idx < s.Chunks; idx++ {
+		if p, ok := s.LossProbByChunk[idx]; ok {
+			conn.SetRandomLossProb(p)
+		} else {
+			conn.SetRandomLossProb(defaultLoss)
+		}
+		size := int64(float64(s.BitrateKbps) * 1000 / 8 * s.ChunkDurationSec)
+		tr := conn.Transfer(size)
+
+		dds, transient := 0.0, false
+		if d, ok := s.TransientAtChunk[idx]; ok {
+			dds, transient = d, true
+		}
+		dfb := tr.RTT0ms + s.ServerLatencyMS + dds
+		dlb := tr.LastByteMS
+		if transient {
+			dlb = math.Max(5, dlb-dds)
+		}
+		tLast := now + dfb + dlb
+		play.AdvanceTo(tLast)
+		play.OnChunkDownloaded(tLast, s.ChunkDurationSec)
+
+		info := conn.Info()
+		recs = append(recs, core.ChunkRecord{
+			SessionID: s.Seed, ChunkID: idx,
+			DFBms: dfb, DLBms: dlb,
+			BitrateKbps: s.BitrateKbps, SizeBytes: size,
+			DurationSec: s.ChunkDurationSec,
+			BufCount:    play.RebufCount() - prevRebufN,
+			BufDurMS:    play.RebufDurMS() - prevRebufMS,
+			Visible:     true,
+			DwaitMS:     0.1, DopenMS: 0.3,
+			DreadMS: s.ServerLatencyMS - 0.4, CacheHit: true, CacheLevel: "ram",
+			CWND: info.CWNDSegments, SRTTms: info.SRTTms,
+			SRTTVarMS: info.RTTVarMS, MSS: info.MSS,
+			RetxTotal: info.RetransTotal,
+			SegsSent:  tr.SegmentsSent, SegsLost: tr.SegmentsLost,
+			TruthDDSms: dds, TruthTransient: transient,
+		})
+		prevRebufN, prevRebufMS = play.RebufCount(), play.RebufDurMS()
+		now = tLast
+	}
+	return recs
+}

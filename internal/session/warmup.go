@@ -1,0 +1,68 @@
+package session
+
+import (
+	"vidperf/internal/catalog"
+	"vidperf/internal/cdn"
+)
+
+// WarmFleet pre-populates every server's cache with the catalog content
+// that maps to it, in ascending popularity order (least popular first) so
+// LRU recency ends up matching popularity. This simulates a CDN that has
+// been serving the catalog for weeks — the regime the paper measures
+// (average miss rate ~2%) — without paying for millions of warmup
+// sessions.
+//
+// Warming covers the ladder rungs sessions actually converge to (>= 750
+// kbps for all titles, every rung for the most popular quartile) plus the
+// conservative startup rung for each title's first chunks. Cold rungs on
+// cold titles are exactly the requests that miss — the paper's unpopular-
+// content findings need that residue.
+func WarmFleet(fleet *cdn.Fleet, cat *catalog.Catalog) {
+	cfg := fleet.Config()
+	if len(cat.Bitrates) == 0 {
+		return
+	}
+	startRung := cat.Bitrates[0]
+	if len(cat.Bitrates) > 1 {
+		startRung = cat.Bitrates[1]
+	}
+	topQuartile := len(cat.Videos) / 4
+	// The deep tail (bottom 5% of ranks, ~2% of requests — matching the
+	// paper's ~2% average miss rate) was never requested in the cache's
+	// history: those titles are fully cold everywhere, giving the paper's
+	// persistent all-miss sessions (§4.1 finding 2) and Fig. 6a's rank
+	// gradient.
+	coldTail := len(cat.Videos) * 95 / 100
+
+	for pop := 0; pop < cfg.NumPoPs; pop++ {
+		for rank := coldTail - 1; rank >= 0; rank-- {
+			v := &cat.Videos[rank]
+			targets := warmTargets(fleet, pop, v.ID, rank)
+			for ci := 0; ci < v.NumChunks; ci++ {
+				dur := cat.ChunkDurationSec(v, ci)
+				for _, br := range cat.Bitrates {
+					warmAll := rank < topQuartile
+					if br < 750 && !warmAll && !(ci < 3 && br == startRung) {
+						continue
+					}
+					key := catalog.ChunkKey(v.ID, ci, br)
+					size := catalog.ChunkSizeBytes(br, dur)
+					for _, srv := range targets {
+						srv.Cache().Insert(key, size)
+					}
+				}
+			}
+		}
+	}
+}
+
+// warmTargets returns the server(s) a video's chunks live on: one under
+// cache-focused mapping, all of the PoP's servers when the rank is
+// load-partitioned.
+func warmTargets(fleet *cdn.Fleet, pop, videoID, rank int) []*cdn.Server {
+	cfg := fleet.Config()
+	if cfg.PartitionTopRanks > 0 && rank < cfg.PartitionTopRanks {
+		return fleet.PoPServers(pop)
+	}
+	return []*cdn.Server{fleet.ServerFor(pop, videoID, rank, 0)}
+}

@@ -1,0 +1,119 @@
+package session
+
+import (
+	"testing"
+
+	"vidperf/internal/catalog"
+	"vidperf/internal/cdn"
+	"vidperf/internal/core"
+	"vidperf/internal/stats"
+	"vidperf/internal/workload"
+)
+
+func TestWarmFleetPopulatesCaches(t *testing.T) {
+	r := stats.NewRand(1)
+	fleet := cdn.NewFleet(cdn.FleetConfig{NumPoPs: 2, ServersPerPoP: 3}, r)
+	cat := catalog.New(catalog.Config{NumVideos: 200, DurationMedian: 60}, r.Split())
+	WarmFleet(fleet, cat)
+
+	// Every server with mapped content must hold bytes.
+	warmed := 0
+	for _, srv := range fleet.Servers {
+		if srv.Cache().Disk.Size() > 0 {
+			warmed++
+		}
+	}
+	if warmed != fleet.NumServers() {
+		t.Errorf("only %d/%d servers warmed", warmed, fleet.NumServers())
+	}
+
+	// The most popular video's mid-ladder chunk must be resident on its
+	// mapped server in every PoP; a cold-tail video must not be.
+	for pop := 0; pop < 2; pop++ {
+		v0 := &cat.Videos[0]
+		srv := fleet.ServerFor(pop, v0.ID, v0.Rank, 0)
+		key := catalog.ChunkKey(v0.ID, 0, 1750)
+		if !srv.Cache().Contains(key) {
+			t.Errorf("pop %d: popular chunk not warmed", pop)
+		}
+		cold := &cat.Videos[len(cat.Videos)-1] // rank beyond the 95% cold cut
+		coldSrv := fleet.ServerFor(pop, cold.ID, cold.Rank, 0)
+		coldKey := catalog.ChunkKey(cold.ID, 0, 1750)
+		if coldSrv.Cache().Contains(coldKey) {
+			t.Errorf("pop %d: cold-tail chunk unexpectedly warmed", pop)
+		}
+	}
+}
+
+func TestWarmFleetTopQuartileGetsAllRungs(t *testing.T) {
+	r := stats.NewRand(2)
+	fleet := cdn.NewFleet(cdn.FleetConfig{NumPoPs: 1, ServersPerPoP: 2}, r)
+	cat := catalog.New(catalog.Config{NumVideos: 100, DurationMedian: 60}, r.Split())
+	WarmFleet(fleet, cat)
+
+	v0 := &cat.Videos[0] // top quartile: all rungs warmed
+	srv := fleet.ServerFor(0, v0.ID, v0.Rank, 0)
+	for _, br := range cat.Bitrates {
+		if !srv.Cache().Contains(catalog.ChunkKey(v0.ID, 1, br)) {
+			t.Errorf("top video missing rung %d", br)
+		}
+	}
+	// A mid-catalog (below quartile, above cold cut) video: low rungs are
+	// cold except the startup rung on early chunks.
+	vMid := &cat.Videos[60]
+	srvMid := fleet.ServerFor(0, vMid.ID, vMid.Rank, 0)
+	if srvMid.Cache().Contains(catalog.ChunkKey(vMid.ID, 5, 235)) {
+		t.Error("mid video's 235 kbps rung should be cold")
+	}
+	if !srvMid.Cache().Contains(catalog.ChunkKey(vMid.ID, 0, 375)) {
+		t.Error("mid video's startup rung should be warmed for chunk 0")
+	}
+	if !srvMid.Cache().Contains(catalog.ChunkKey(vMid.ID, 5, 1750)) {
+		t.Error("mid video's 1750 kbps rung should be warmed")
+	}
+}
+
+func TestWarmFleetPartitionedSpreadsPopular(t *testing.T) {
+	r := stats.NewRand(3)
+	fleet := cdn.NewFleet(cdn.FleetConfig{
+		NumPoPs: 1, ServersPerPoP: 4, PartitionTopRanks: 10,
+	}, r)
+	cat := catalog.New(catalog.Config{NumVideos: 100, DurationMedian: 60}, r.Split())
+	WarmFleet(fleet, cat)
+
+	// Partitioned top titles must be resident on every server of the PoP.
+	key := catalog.ChunkKey(cat.Videos[0].ID, 0, 1750)
+	for _, srv := range fleet.PoPServers(0) {
+		if !srv.Cache().Contains(key) {
+			t.Errorf("server %d missing partitioned popular chunk", srv.ID)
+		}
+	}
+}
+
+func TestColdStartRaisesMissRate(t *testing.T) {
+	base := workload.Scenario{
+		Seed: 5, NumSessions: 800, NumPrefixes: 200,
+		Catalog: catalog.Config{NumVideos: 800},
+	}
+	warm := Run(base)
+	cold := base
+	cold.ColdStart = true
+	coldDS := Run(cold)
+
+	missRate := func(ds *core.Dataset) float64 {
+		miss := 0
+		for i := range ds.Chunks {
+			if !ds.Chunks[i].CacheHit {
+				miss++
+			}
+		}
+		return float64(miss) / float64(len(ds.Chunks))
+	}
+	w, c := missRate(warm), missRate(coldDS)
+	if c < 3*w {
+		t.Errorf("cold start miss rate %.3f not ≫ warm %.3f", c, w)
+	}
+	if w > 0.25 {
+		t.Errorf("warm miss rate %.3f too high", w)
+	}
+}

@@ -1,0 +1,99 @@
+// Package sim implements a minimal deterministic discrete-event simulation
+// engine. The session runner uses it to interleave chunk requests from many
+// concurrent video sessions at the CDN servers, so that shared state (the
+// per-server caches and worker pools) sees requests in global time order,
+// exactly as a production server fleet would.
+//
+// Time is a float64 in milliseconds. Events scheduled for the same instant
+// fire in scheduling order (a monotonically increasing sequence number
+// breaks ties), which keeps runs reproducible.
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a simulated time.
+type Event func(now float64)
+
+type item struct {
+	at  float64
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a future-event-list simulator. The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulated time in milliseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time at. Events scheduled in the past
+// run at the current time (the engine never moves backwards).
+func (e *Engine) At(at float64, fn Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay milliseconds from now.
+func (e *Engine) After(delay float64, fn Event) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Step executes the single earliest event. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.events).(item)
+	e.now = it.at
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline. Later events remain queued
+// and the clock advances to deadline if it had not yet reached it.
+func (e *Engine) RunUntil(deadline float64) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,304 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vidperf/internal/stats"
+)
+
+func cleanPath() Params {
+	return Params{
+		BaseRTTms:      40,
+		JitterMS:       0,
+		BottleneckKbps: 20000, // 20 Mbps
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(Params{BaseRTTms: 40, BottleneckKbps: 10000}, stats.NewRand(1))
+	p := c.Params()
+	if p.MSS != 1460 {
+		t.Errorf("MSS = %d", p.MSS)
+	}
+	if p.InitCwnd != 10 {
+		t.Errorf("InitCwnd = %d", p.InitCwnd)
+	}
+	if p.BufferBytes <= 0 {
+		t.Errorf("BufferBytes = %d", p.BufferBytes)
+	}
+}
+
+func TestTransferDeliversAllBytes(t *testing.T) {
+	c := New(cleanPath(), stats.NewRand(2))
+	res := c.Transfer(750000) // one 6 s chunk at 1 Mbps
+	if res.TotalMS <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	wantSegs := int(math.Ceil(750000.0 / 1460))
+	if res.SegmentsSent < wantSegs {
+		t.Errorf("sent %d segments, want >= %d", res.SegmentsSent, wantSegs)
+	}
+	if res.SegmentsLost != 0 {
+		// Clean path with big buffer: slow-start overshoot may still lose;
+		// but with BDP-sized buffer the first chunk CAN lose. Accept loss
+		// but retx must never exceed sent.
+		if res.SegmentsLost > res.SegmentsSent {
+			t.Errorf("lost %d > sent %d", res.SegmentsLost, res.SegmentsSent)
+		}
+	}
+}
+
+func TestSlowStartGrowsWindow(t *testing.T) {
+	c := New(cleanPath(), stats.NewRand(3))
+	if c.Info().CWNDSegments != 10 {
+		t.Fatalf("initial cwnd = %d", c.Info().CWNDSegments)
+	}
+	c.Transfer(300000)
+	if c.Info().CWNDSegments <= 10 {
+		t.Errorf("cwnd did not grow: %d", c.Info().CWNDSegments)
+	}
+}
+
+func TestFirstChunkLosesMoreThanLater(t *testing.T) {
+	// The Fig. 15 effect: slow-start overshoot concentrates losses on the
+	// session's first chunk. Use a constrained path so overshoot occurs.
+	p := Params{BaseRTTms: 50, BottleneckKbps: 8000, BufferBytes: 64 * 1460}
+	var first, later stats.Summary
+	for seed := uint64(0); seed < 60; seed++ {
+		c := New(p, stats.NewRand(seed))
+		r0 := c.Transfer(2000000)
+		first.Add(r0.LossRate())
+		for i := 0; i < 4; i++ {
+			ri := c.Transfer(2000000)
+			later.Add(ri.LossRate())
+		}
+	}
+	if first.Mean() <= later.Mean() {
+		t.Errorf("first-chunk loss %.4f not above later-chunk loss %.4f",
+			first.Mean(), later.Mean())
+	}
+}
+
+func TestSRTTReflectsSelfLoading(t *testing.T) {
+	// When the window exceeds the BDP, standing queue inflates measured
+	// SRTT above the base RTT (§4.2's self-loading caveat).
+	p := Params{BaseRTTms: 40, BottleneckKbps: 5000, BufferBytes: 400 * 1460}
+	c := New(p, stats.NewRand(4))
+	c.Transfer(4000000)
+	if c.Info().SRTTms <= 40 {
+		t.Errorf("SRTT %.1f not inflated above base RTT", c.Info().SRTTms)
+	}
+}
+
+func TestThroughputApproachesBottleneck(t *testing.T) {
+	p := cleanPath() // 20 Mbps
+	c := New(p, stats.NewRand(5))
+	// Warm up the window, then measure a large transfer.
+	c.Transfer(1000000)
+	size := int64(10000000) // 10 MB
+	res := c.Transfer(size)
+	gotKbps := float64(size) * 8 / res.TotalMS
+	if gotKbps > p.BottleneckKbps*1.05 {
+		t.Errorf("throughput %.0f kbps exceeds bottleneck %.0f", gotKbps, p.BottleneckKbps)
+	}
+	if gotKbps < p.BottleneckKbps*0.5 {
+		t.Errorf("throughput %.0f kbps too far below bottleneck %.0f", gotKbps, p.BottleneckKbps)
+	}
+}
+
+func TestRandomLossCausesRetransmissions(t *testing.T) {
+	p := cleanPath()
+	p.RandomLossProb = 0.02
+	c := New(p, stats.NewRand(6))
+	res := c.Transfer(3000000)
+	if res.SegmentsLost == 0 {
+		t.Error("no losses despite 2% random loss")
+	}
+	rate := res.LossRate()
+	if rate < 0.005 || rate > 0.10 {
+		t.Errorf("loss rate %.4f implausible for p=0.02", rate)
+	}
+}
+
+func TestRTOBounds(t *testing.T) {
+	c := New(cleanPath(), stats.NewRand(7))
+	if got := c.RTOms(); got != 200 {
+		t.Errorf("pre-sample RTO = %v, want 200 floor", got)
+	}
+	c.Transfer(100000)
+	if got := c.RTOms(); got < 200 {
+		t.Errorf("RTO %v below floor", got)
+	}
+	if got := RTOPaperms(60, 5); got != 280 {
+		t.Errorf("RTOPaperms = %v, want 280", got)
+	}
+}
+
+func TestSnapshotsEvery500ms(t *testing.T) {
+	// A long transfer on a slow path takes many seconds: expect roughly
+	// duration/500ms samples (plus the final per-chunk one).
+	p := Params{BaseRTTms: 80, BottleneckKbps: 2000}
+	c := New(p, stats.NewRand(8))
+	res := c.Transfer(3000000) // 12 s at 2 Mbps
+	if res.TotalMS < 5000 {
+		t.Fatalf("transfer unexpectedly fast: %v ms", res.TotalMS)
+	}
+	wantMin := int(res.TotalMS/SampleIntervalMS) / 2
+	if len(res.Snapshots) < wantMin {
+		t.Errorf("got %d snapshots over %.0f ms, want >= %d",
+			len(res.Snapshots), res.TotalMS, wantMin)
+	}
+	// Snapshots must be time-ordered and carry MSS.
+	for i, s := range res.Snapshots {
+		if s.MSS != 1460 {
+			t.Fatalf("snapshot %d MSS = %d", i, s.MSS)
+		}
+		if i > 0 && s.AtMS < res.Snapshots[i-1].AtMS {
+			t.Fatal("snapshots out of order")
+		}
+	}
+}
+
+func TestAtLeastOneSnapshotPerChunk(t *testing.T) {
+	c := New(cleanPath(), stats.NewRand(9))
+	for i := 0; i < 5; i++ {
+		res := c.Transfer(50000) // small, fast chunks
+		if len(res.Snapshots) < 1 {
+			t.Fatalf("chunk %d had no snapshot", i)
+		}
+	}
+}
+
+func TestEq3Throughput(t *testing.T) {
+	ti := TCPInfo{CWNDSegments: 20, SRTTms: 50, MSS: 1460}
+	want := float64(20*1460) * 8 / 50
+	if got := ti.ThroughputKbps(); got != want {
+		t.Errorf("Eq3 = %v, want %v", got, want)
+	}
+	if (TCPInfo{}).ThroughputKbps() != 0 {
+		t.Error("zero SRTT should yield 0")
+	}
+}
+
+func TestIdleDrainsQueueAndOptionallyResets(t *testing.T) {
+	p := Params{BaseRTTms: 40, BottleneckKbps: 5000, BufferBytes: 400 * 1460}
+	c := New(p, stats.NewRand(10))
+	c.Transfer(4000000)
+	grown := c.Info().CWNDSegments
+	if grown <= 10 {
+		t.Fatalf("window did not grow: %d", grown)
+	}
+	c.AdvanceIdle(5000)
+	if c.Info().CWNDSegments != grown {
+		t.Error("window reset despite SlowStartAfterIdle=false")
+	}
+
+	p.SlowStartAfterIdle = true
+	c2 := New(p, stats.NewRand(10))
+	c2.Transfer(4000000)
+	c2.AdvanceIdle(5000)
+	if c2.Info().CWNDSegments != 10 {
+		t.Errorf("window = %d after idle, want reset to 10", c2.Info().CWNDSegments)
+	}
+}
+
+func TestPacingReducesFirstChunkLoss(t *testing.T) {
+	base := Params{BaseRTTms: 50, BottleneckKbps: 8000, BufferBytes: 64 * 1460}
+	var unpaced, paced stats.Summary
+	for seed := uint64(0); seed < 60; seed++ {
+		c1 := New(base, stats.NewRand(seed))
+		unpaced.Add(c1.Transfer(2000000).LossRate())
+		pp := base
+		pp.Pacing = true
+		c2 := New(pp, stats.NewRand(seed))
+		paced.Add(c2.Transfer(2000000).LossRate())
+	}
+	if paced.Mean() >= unpaced.Mean() {
+		t.Errorf("pacing did not reduce loss: paced %.4f vs unpaced %.4f",
+			paced.Mean(), unpaced.Mean())
+	}
+}
+
+func TestZeroAndNegativeSize(t *testing.T) {
+	c := New(cleanPath(), stats.NewRand(11))
+	res := c.Transfer(0)
+	if res.TotalMS != 0 || res.SegmentsSent != 0 {
+		t.Errorf("zero-size transfer did work: %+v", res)
+	}
+	res = c.Transfer(-5)
+	if res.TotalMS != 0 {
+		t.Error("negative size transferred")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(cleanPath(), stats.NewRand(12))
+	b := New(cleanPath(), stats.NewRand(12))
+	for i := 0; i < 5; i++ {
+		ra, rb := a.Transfer(500000), b.Transfer(500000)
+		if ra.TotalMS != rb.TotalMS || ra.SegmentsLost != rb.SegmentsLost {
+			t.Fatalf("chunk %d diverged", i)
+		}
+	}
+}
+
+// Property: for any path and size, transfers conserve sanity — non-negative
+// times, losses <= sent, last-byte time <= total, clock monotone.
+func TestTransferInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		p := Params{
+			BaseRTTms:      r.Uniform(5, 300),
+			JitterMS:       r.Uniform(0, 30),
+			BottleneckKbps: r.Uniform(500, 50000),
+			RandomLossProb: r.Float64() * 0.05,
+		}
+		c := New(p, r.Split())
+		prevClock := 0.0
+		for i := 0; i < 8; i++ {
+			size := int64(r.Intn(3000000) + 1)
+			res := c.Transfer(size)
+			if res.TotalMS < 0 || res.LastByteMS < 0 || res.FirstRoundMS < 0 {
+				return false
+			}
+			if res.SegmentsLost > res.SegmentsSent {
+				return false
+			}
+			if res.LastByteMS > res.TotalMS+1e-9 {
+				return false
+			}
+			info := c.Info()
+			if info.AtMS < prevClock {
+				return false
+			}
+			prevClock = info.AtMS
+			if info.CWNDSegments < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SRTT stays within sane bounds of the base RTT (never below,
+// never beyond base + max queue + generous jitter margin).
+func TestSRTTBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		base := r.Uniform(10, 200)
+		p := Params{BaseRTTms: base, JitterMS: 5, BottleneckKbps: 5000}
+		c := New(p, r.Split())
+		c.Transfer(int64(r.Intn(4000000) + 1000))
+		srtt := c.Info().SRTTms
+		maxQueue := float64(c.Params().BufferBytes) / (p.BottleneckKbps / 8)
+		return srtt >= base-1e-6 && srtt <= base+maxQueue+20*5+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package workload generates the synthetic population that replays the
+// paper's §3 dataset statistics: client /24 prefixes with geography and
+// organization types, the browser/OS mix (Chrome 43 / Firefox 37 / IE 13 /
+// Safari 6 / other 2; Windows 88.5 / OS X 9.4), Zipf-popular videos,
+// proxy-funneled sessions (≈23% removed by preprocessing), and per-session
+// plans (platform, path, watch length) the session runner executes.
+package workload
+
+import (
+	"fmt"
+
+	"vidperf/internal/catalog"
+	"vidperf/internal/cdn"
+	"vidperf/internal/clientstack"
+	"vidperf/internal/geo"
+	"vidperf/internal/netpath"
+	"vidperf/internal/stats"
+	"vidperf/internal/tcpmodel"
+)
+
+// Scenario is the master configuration of one simulated measurement
+// campaign. Zero fields take defaults that reproduce the paper's shapes at
+// laptop scale.
+type Scenario struct {
+	Seed        uint64
+	NumSessions int // default 20000
+	NumPrefixes int // default 2500
+
+	Catalog catalog.Config
+	Fleet   cdn.FleetConfig
+
+	// ABRName selects the adaptation algorithm ("hybrid" default;
+	// see internal/abr for the ablation variants).
+	ABRName string
+
+	// Population mix.
+	NonUSFrac            float64 // default 0.07 (paper: >93% North America)
+	EnterprisePrefixFrac float64 // default 0.10
+	SmallBizPrefixFrac   float64 // default 0.08
+	ResidentialProxyFrac float64 // default 0.21 (transparent ISP proxies)
+
+	// Session behaviour.
+	MeanWatchedChunks float64 // default 10 (geometric-ish abandonment)
+	StartThresholdSec float64 // default 6 (one chunk)
+	MaxBufferSec      float64 // default 18 (player high-water mark)
+	FPS               float64 // default 30
+
+	// ArrivalWindowMS spreads session starts uniformly over this window
+	// (default 30 minutes), interleaving sessions at the servers.
+	ArrivalWindowMS float64
+
+	// GPUFrac is the share of clients with hardware rendering
+	// (default 0.45).
+	GPUFrac float64
+
+	// ColdStart skips cache pre-warming, simulating a freshly deployed
+	// CDN instead of the steady state the paper measures (ablation).
+	ColdStart bool
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.NumSessions == 0 {
+		s.NumSessions = 20000
+	}
+	if s.NumPrefixes == 0 {
+		s.NumPrefixes = 2500
+	}
+	if s.ABRName == "" {
+		s.ABRName = "hybrid"
+	}
+	if s.NonUSFrac == 0 {
+		s.NonUSFrac = 0.07
+	}
+	if s.EnterprisePrefixFrac == 0 {
+		s.EnterprisePrefixFrac = 0.10
+	}
+	if s.SmallBizPrefixFrac == 0 {
+		s.SmallBizPrefixFrac = 0.08
+	}
+	if s.ResidentialProxyFrac == 0 {
+		s.ResidentialProxyFrac = 0.21
+	}
+	if s.MeanWatchedChunks == 0 {
+		s.MeanWatchedChunks = 10
+	}
+	if s.StartThresholdSec == 0 {
+		s.StartThresholdSec = 6
+	}
+	if s.MaxBufferSec == 0 {
+		// Players pace requests once the buffer reaches the high-water
+		// mark; 18 s is a typical production target and gives sessions
+		// the idle gaps the 500 ms kernel sampler observes.
+		s.MaxBufferSec = 18
+	}
+	if s.FPS == 0 {
+		s.FPS = 30
+	}
+	if s.ArrivalWindowMS == 0 {
+		s.ArrivalWindowMS = 30 * 60 * 1000
+	}
+	if s.GPUFrac == 0 {
+		s.GPUFrac = 0.45
+	}
+	return s
+}
+
+// Prefix is one client /24 with its persistent location and path profile.
+type Prefix struct {
+	ID      int
+	Label   string // synthetic CIDR label
+	City    string
+	Country string
+	US      bool
+	Loc     geo.Coord
+	PoP     int
+	DistKM  float64
+	Profile netpath.Profile
+	Weight  float64
+	// EgressIP is non-empty when the prefix sits behind a proxy; all its
+	// sessions share it at the CDN.
+	EgressIP string
+}
+
+// Population is the generated client+content world.
+type Population struct {
+	Scenario Scenario
+	Prefixes []Prefix
+	Catalog  *catalog.Catalog
+	PoPs     []geo.PoP
+
+	cumWeights []float64
+}
+
+// Build generates the population for sc. The same seed yields the same
+// population.
+func Build(sc Scenario) *Population {
+	sc = sc.withDefaults()
+	r := stats.NewRand(sc.Seed ^ 0xa5a5a5a5deadbeef)
+	pop := &Population{
+		Scenario: sc,
+		Catalog:  catalog.New(sc.Catalog, r.Split()),
+		PoPs:     geo.DefaultPoPs(),
+	}
+	pop.buildPrefixes(r.Split())
+	return pop
+}
+
+func (p *Population) buildPrefixes(r *stats.Rand) {
+	sc := p.Scenario
+	usCities := geo.USCities()
+	intlCities := geo.InternationalCities()
+	usW := cityWeights(usCities)
+	intlW := cityWeights(intlCities)
+
+	enterpriseOrg := 0
+	resISPs := []string{
+		"ResidentialISP#1", "ResidentialISP#2", "ResidentialISP#3",
+		"ResidentialISP#4", "ResidentialISP#5",
+		"RegionalISP#1", "RegionalISP#2", "RegionalISP#3",
+	}
+	resISPW := []float64{22, 19, 15, 12, 10, 3, 2, 2}
+
+	for i := 0; i < sc.NumPrefixes; i++ {
+		var city geo.City
+		us := !r.Bool(sc.NonUSFrac)
+		if us {
+			city = usCities[r.Choice(usW)]
+		} else {
+			city = intlCities[r.Choice(intlW)]
+		}
+		// Scatter clients around the metro center.
+		loc := geo.Coord{
+			Lat: city.Loc.Lat + r.Norm(0, 0.35),
+			Lon: city.Loc.Lon + r.Norm(0, 0.35),
+		}
+		popIdx, dist := geo.NearestPoP(loc, p.PoPs)
+		prop := geo.PropagationRTTms(dist, r.Uniform(1.6, 2.4))
+
+		pr := Prefix{
+			ID:      i,
+			Label:   fmt.Sprintf("prefix-%04d/24", i),
+			City:    city.Name,
+			Country: city.Country,
+			US:      us,
+			Loc:     loc,
+			PoP:     popIdx,
+			DistKM:  dist,
+		}
+
+		switch {
+		case r.Bool(sc.EnterprisePrefixFrac):
+			pr.Profile = netpath.EnterpriseProfile(prop, r)
+			// Enterprises cluster into orgs of a few prefixes; org sizes
+			// are heavy-tailed so Table 4's session counts span decades.
+			if enterpriseOrg == 0 || r.Bool(0.3) {
+				enterpriseOrg++
+			}
+			pr.Profile.OrgName = fmt.Sprintf("Enterprise#%d", enterpriseOrg)
+			pr.Weight = r.Pareto(0.4, 1.3)
+		case r.Bool(sc.SmallBizPrefixFrac / (1 - sc.EnterprisePrefixFrac)):
+			pr.Profile = netpath.SmallBusinessProfile(prop, r)
+			pr.Profile.OrgName = fmt.Sprintf("SmallBiz#%d", i%97)
+			pr.Weight = r.Pareto(0.3, 1.4)
+		default:
+			pr.Profile = netpath.ResidentialProfile(prop, r)
+			isp := r.Choice(resISPW)
+			pr.Profile.OrgName = resISPs[isp]
+			pr.Profile.Proxy = r.Bool(sc.ResidentialProxyFrac)
+			pr.Weight = r.Pareto(1.0, 1.6)
+		}
+		if pr.Profile.Proxy {
+			pr.EgressIP = fmt.Sprintf("proxy-%s", pr.Profile.OrgName)
+		}
+		p.Prefixes = append(p.Prefixes, pr)
+	}
+
+	p.cumWeights = make([]float64, len(p.Prefixes))
+	var cum float64
+	for i := range p.Prefixes {
+		cum += p.Prefixes[i].Weight
+		p.cumWeights[i] = cum
+	}
+}
+
+func cityWeights(cs []geo.City) []float64 {
+	w := make([]float64, len(cs))
+	for i, c := range cs {
+		w[i] = c.Weight
+	}
+	return w
+}
+
+// SamplePrefix draws a prefix proportionally to session weight.
+func (p *Population) SamplePrefix(r *stats.Rand) *Prefix {
+	x := r.Float64() * p.cumWeights[len(p.cumWeights)-1]
+	lo, hi := 0, len(p.cumWeights)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cumWeights[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &p.Prefixes[lo]
+}
+
+// SessionPlan is everything one session needs to run.
+type SessionPlan struct {
+	ID        uint64
+	ArrivalMS float64
+	Prefix    *Prefix
+	Video     *catalog.Video
+	// WatchChunks is how many chunks the viewer stays for.
+	WatchChunks int
+	Platform    clientstack.Platform
+	// HiddenProb is the per-chunk probability the player is not visible.
+	HiddenProb float64
+	PathParams tcpmodel.Params
+	Stack      clientstack.StackProfile
+	// ClientIP / EgressIP implement the §3 proxy-detection signals.
+	ClientIP string
+	HTTPIP   string
+}
+
+// PlanSession draws session id's plan. Plans are deterministic in
+// (scenario seed, id).
+func (p *Population) PlanSession(id uint64) SessionPlan {
+	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
+	pre := p.SamplePrefix(r)
+	video := p.Catalog.Sample(r)
+
+	watch := 1 + int(r.Exp(p.Scenario.MeanWatchedChunks-1))
+	if watch > video.NumChunks {
+		watch = video.NumChunks
+	}
+
+	plan := SessionPlan{
+		ID:          id,
+		ArrivalMS:   r.Uniform(0, p.Scenario.ArrivalWindowMS),
+		Prefix:      pre,
+		Video:       video,
+		WatchChunks: watch,
+		Platform:    samplePlatform(r, p.Scenario.GPUFrac),
+		PathParams:  pre.Profile.SessionParams(r),
+		ClientIP:    fmt.Sprintf("10.%d.%d.%d", pre.ID/250, pre.ID%250, 1+r.Intn(250)),
+	}
+	plan.Stack = clientstack.NewStackProfile(plan.Platform, r)
+	if r.Bool(0.15) {
+		plan.HiddenProb = 0.5
+	}
+	plan.HTTPIP = plan.ClientIP
+	if pre.EgressIP != "" {
+		plan.HTTPIP = pre.EgressIP
+		// Most proxies also expose the IP mismatch between the CDN's
+		// view and the player beacon (§3 rule i); the rest are caught by
+		// the shared-IP volume rule (ii).
+		if !r.Bool(0.7) {
+			plan.ClientIP = plan.HTTPIP
+		}
+	}
+	return plan
+}
+
+// samplePlatform draws the OS/browser/hardware mix of §3.
+func samplePlatform(r *stats.Rand, gpuFrac float64) clientstack.Platform {
+	var pl clientstack.Platform
+	switch r.Choice([]float64{88.5, 9.4, 2.1}) {
+	case 0:
+		pl.OS = clientstack.Windows
+		pl.Browser = pick(r, []clientstack.Browser{
+			clientstack.Chrome, clientstack.Firefox, clientstack.InternetExplorer,
+			clientstack.Edge, clientstack.Safari, clientstack.Opera,
+			clientstack.Vivaldi, clientstack.Yandex, clientstack.SeaMonkey,
+			clientstack.OtherBrowser,
+		}, []float64{44, 39, 14.3, 1.2, 0.25, 0.45, 0.2, 0.25, 0.1, 0.25})
+	case 1:
+		pl.OS = clientstack.MacOS
+		pl.Browser = pick(r, []clientstack.Browser{
+			clientstack.Safari, clientstack.Chrome, clientstack.Firefox,
+			clientstack.Opera, clientstack.OtherBrowser,
+		}, []float64{55, 29, 13, 1.5, 1.5})
+	default:
+		pl.OS = clientstack.Linux
+		pl.Browser = pick(r, []clientstack.Browser{
+			clientstack.Firefox, clientstack.Chrome, clientstack.Safari,
+			clientstack.OtherBrowser,
+		}, []float64{55, 40, 1, 4})
+	}
+	pl.FlashInternal = pl.Browser == clientstack.Chrome ||
+		(pl.Browser == clientstack.Safari && pl.OS == clientstack.MacOS)
+	pl.GPU = r.Bool(gpuFrac)
+	switch r.Choice([]float64{5, 30, 45, 20}) {
+	case 0:
+		pl.CPUCores = 1
+	case 1:
+		pl.CPUCores = 2
+	case 2:
+		pl.CPUCores = 4
+	default:
+		pl.CPUCores = 8
+	}
+	if r.Bool(0.2) {
+		pl.CPULoad = r.Uniform(0.5, 0.95)
+	} else {
+		pl.CPULoad = r.Uniform(0.05, 0.45)
+	}
+	return pl
+}
+
+func pick(r *stats.Rand, bs []clientstack.Browser, w []float64) clientstack.Browser {
+	return bs[r.Choice(w)]
+}
+
+// ConnTypeLabel names the access technology for the session record.
+func ConnTypeLabel(pr *Prefix) string {
+	switch pr.Profile.Org {
+	case netpath.Enterprise:
+		return "enterprise"
+	case netpath.SmallBusiness:
+		return "business"
+	}
+	switch {
+	case pr.Profile.AccessKbps >= 50000:
+		return "fiber"
+	case pr.Profile.AccessKbps >= 10000:
+		return "cable"
+	default:
+		return "dsl"
+	}
+}

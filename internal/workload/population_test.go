@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vidperf/internal/clientstack"
+	"vidperf/internal/netpath"
+	"vidperf/internal/stats"
+)
+
+func testPop() *Population {
+	return Build(Scenario{Seed: 1, NumSessions: 1000, NumPrefixes: 800})
+}
+
+func TestBuildDefaults(t *testing.T) {
+	p := testPop()
+	if len(p.Prefixes) != 800 {
+		t.Fatalf("prefixes = %d", len(p.Prefixes))
+	}
+	if p.Catalog == nil || len(p.PoPs) != 6 {
+		t.Fatal("catalog/PoPs missing")
+	}
+	sc := p.Scenario
+	if sc.ABRName != "hybrid" || sc.MeanWatchedChunks != 10 {
+		t.Errorf("defaults not applied: %+v", sc)
+	}
+}
+
+func TestPrefixMix(t *testing.T) {
+	p := testPop()
+	var us, ent, proxy int
+	for i := range p.Prefixes {
+		pre := &p.Prefixes[i]
+		if pre.US {
+			us++
+		}
+		if pre.Profile.Org == netpath.Enterprise {
+			ent++
+		}
+		if pre.Profile.Proxy {
+			proxy++
+			if pre.EgressIP == "" {
+				t.Fatal("proxy prefix without egress IP")
+			}
+		}
+		if pre.PoP < 0 || pre.PoP >= 6 {
+			t.Fatalf("bad PoP %d", pre.PoP)
+		}
+		if pre.DistKM < 0 {
+			t.Fatal("negative distance")
+		}
+		if pre.Profile.OrgName == "" {
+			t.Fatal("unnamed org")
+		}
+	}
+	usFrac := float64(us) / 800
+	if usFrac < 0.88 || usFrac > 0.98 {
+		t.Errorf("US fraction = %v, want ~0.93", usFrac)
+	}
+	entFrac := float64(ent) / 800
+	if entFrac < 0.05 || entFrac > 0.16 {
+		t.Errorf("enterprise fraction = %v, want ~0.10", entFrac)
+	}
+	if proxy == 0 {
+		t.Error("no proxy prefixes")
+	}
+}
+
+func TestNonUSFartherThanUS(t *testing.T) {
+	p := testPop()
+	var usD, intlD stats.Summary
+	for i := range p.Prefixes {
+		if p.Prefixes[i].US {
+			usD.Add(p.Prefixes[i].DistKM)
+		} else {
+			intlD.Add(p.Prefixes[i].DistKM)
+		}
+	}
+	if intlD.Mean() <= usD.Mean() {
+		t.Errorf("international clients (%.0f km) not farther than US (%.0f km)",
+			intlD.Mean(), usD.Mean())
+	}
+}
+
+func TestPlanSessionDeterministic(t *testing.T) {
+	p := testPop()
+	a, b := p.PlanSession(42), p.PlanSession(42)
+	if a.Prefix.ID != b.Prefix.ID || a.Video.ID != b.Video.ID ||
+		a.WatchChunks != b.WatchChunks || a.Platform != b.Platform {
+		t.Error("plans differ for same id")
+	}
+	c := p.PlanSession(43)
+	if a.ArrivalMS == c.ArrivalMS && a.Video.ID == c.Video.ID && a.Prefix.ID == c.Prefix.ID {
+		t.Error("different ids produced identical plans")
+	}
+}
+
+func TestPlanBasics(t *testing.T) {
+	p := testPop()
+	for id := uint64(1); id <= 500; id++ {
+		plan := p.PlanSession(id)
+		if plan.WatchChunks < 1 || plan.WatchChunks > plan.Video.NumChunks {
+			t.Fatalf("watch chunks %d out of range", plan.WatchChunks)
+		}
+		if plan.ArrivalMS < 0 || plan.ArrivalMS > p.Scenario.ArrivalWindowMS {
+			t.Fatalf("arrival %v out of window", plan.ArrivalMS)
+		}
+		if plan.PathParams.BaseRTTms <= 0 || plan.PathParams.BottleneckKbps <= 0 {
+			t.Fatalf("bad path params %+v", plan.PathParams)
+		}
+		if plan.HTTPIP == "" || plan.ClientIP == "" {
+			t.Fatal("missing IPs")
+		}
+		if plan.Prefix.EgressIP == "" && plan.HTTPIP != plan.ClientIP {
+			t.Fatal("non-proxy session with IP mismatch")
+		}
+	}
+}
+
+func TestPlatformMixMatchesPaper(t *testing.T) {
+	p := testPop()
+	counts := map[clientstack.Browser]int{}
+	oses := map[clientstack.OS]int{}
+	n := 20000
+	for id := 1; id <= n; id++ {
+		plan := p.PlanSession(uint64(id))
+		counts[plan.Platform.Browser]++
+		oses[plan.Platform.OS]++
+	}
+	frac := func(c int) float64 { return float64(c) / float64(n) }
+	if f := frac(oses[clientstack.Windows]); math.Abs(f-0.885) > 0.02 {
+		t.Errorf("Windows share = %.3f, want 0.885", f)
+	}
+	if f := frac(oses[clientstack.MacOS]); math.Abs(f-0.094) > 0.02 {
+		t.Errorf("Mac share = %.3f, want 0.094", f)
+	}
+	if f := frac(counts[clientstack.Chrome]); math.Abs(f-0.43) > 0.03 {
+		t.Errorf("Chrome share = %.3f, want ~0.43", f)
+	}
+	if f := frac(counts[clientstack.Firefox]); math.Abs(f-0.37) > 0.03 {
+		t.Errorf("Firefox share = %.3f, want ~0.37", f)
+	}
+	if f := frac(counts[clientstack.InternetExplorer]); math.Abs(f-0.13) > 0.02 {
+		t.Errorf("IE share = %.3f, want ~0.13", f)
+	}
+	// The long tail exists (Fig. 22 needs them).
+	for _, b := range []clientstack.Browser{clientstack.Opera, clientstack.Vivaldi, clientstack.Yandex} {
+		if counts[b] == 0 {
+			t.Errorf("no %v sessions generated", b)
+		}
+	}
+	// Safari off-Mac exists (Table 5 lists Safari on Windows and Linux).
+	safariOffMac := 0
+	for id := 1; id <= n; id++ {
+		plan := p.PlanSession(uint64(id))
+		if plan.Platform.Browser == clientstack.Safari && plan.Platform.OS != clientstack.MacOS {
+			safariOffMac++
+		}
+	}
+	if safariOffMac == 0 {
+		t.Error("no Safari-off-Mac sessions")
+	}
+}
+
+func TestSamplePrefixFollowsWeights(t *testing.T) {
+	p := testPop()
+	r := stats.NewRand(5)
+	counts := make(map[int]int)
+	for i := 0; i < 50000; i++ {
+		counts[p.SamplePrefix(r).ID]++
+	}
+	// The heaviest prefix should be sampled far more than the median one.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 150 {
+		t.Errorf("weight skew missing: max count %d", maxC)
+	}
+}
+
+func TestConnTypeLabel(t *testing.T) {
+	r := stats.NewRand(6)
+	ent := Prefix{Profile: netpath.EnterpriseProfile(10, r)}
+	if ConnTypeLabel(&ent) != "enterprise" {
+		t.Error("enterprise label wrong")
+	}
+	res := Prefix{Profile: netpath.ResidentialProfile(10, r)}
+	got := ConnTypeLabel(&res)
+	if got != "fiber" && got != "cable" && got != "dsl" {
+		t.Errorf("residential label = %q", got)
+	}
+}
