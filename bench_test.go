@@ -31,6 +31,19 @@ import (
 
 const benchMaxRank = 3000
 
+// benchScenario is the shared 6000-session campaign; parallelism selects
+// how many PoP shards run concurrently (0 = GOMAXPROCS).
+func benchScenario(parallelism int) workload.Scenario {
+	return workload.Scenario{
+		Seed:              2016,
+		NumSessions:       6000,
+		NumPrefixes:       900,
+		MeanWatchedChunks: 12,
+		Catalog:           catalog.Config{NumVideos: benchMaxRank},
+		Parallelism:       parallelism,
+	}
+}
+
 var (
 	benchOnce sync.Once
 	benchDS   *core.Dataset
@@ -39,13 +52,10 @@ var (
 // benchDataset simulates the shared measurement campaign once.
 func benchDataset() *core.Dataset {
 	benchOnce.Do(func() {
-		raw := session.Run(workload.Scenario{
-			Seed:              2016,
-			NumSessions:       6000,
-			NumPrefixes:       900,
-			MeanWatchedChunks: 12,
-			Catalog:           catalog.Config{NumVideos: benchMaxRank},
-		})
+		raw, err := session.Run(benchScenario(0))
+		if err != nil {
+			panic(err)
+		}
 		benchDS = core.FilterProxies(raw, core.ProxyFilterConfig{}).Kept
 	})
 	return benchDS
@@ -126,15 +136,44 @@ func BenchmarkDatasetStats(b *testing.B) {
 // (sessions/op at a small scale).
 func BenchmarkSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ds := session.Run(workload.Scenario{
+		ds, err := session.Run(workload.Scenario{
 			Seed:        uint64(i + 1),
 			NumSessions: 300,
 			NumPrefixes: 150,
 			Catalog:     catalog.Config{NumVideos: 1000},
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(ds.Chunks) == 0 {
 			b.Fatal("empty run")
 		}
+	}
+}
+
+// BenchmarkRunParallel measures PoP-sharded scaling of the full
+// 6000-session campaign: p1 is the sequential baseline, the higher
+// variants run shards concurrently. The traces are byte-identical across
+// variants; only wall-clock changes. Compare with e.g.
+//
+//	go test -run='^$' -bench=BenchmarkRunParallel -benchtime=1x
+func BenchmarkRunParallel(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 6} {
+		par := par
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			var chunks int
+			for i := 0; i < b.N; i++ {
+				ds, err := session.Run(benchScenario(par))
+				if err != nil {
+					b.Fatal(err)
+				}
+				chunks = len(ds.Chunks)
+				if chunks == 0 {
+					b.Fatal("empty run")
+				}
+			}
+			b.ReportMetric(float64(chunks), "chunks")
+		})
 	}
 }
 
@@ -189,7 +228,10 @@ func ablationRun(label string, mutate func(*workload.Scenario)) *core.Dataset {
 	if mutate != nil {
 		mutate(&sc)
 	}
-	ds := session.Run(sc)
+	ds, err := session.Run(sc)
+	if err != nil {
+		panic(err)
+	}
 	ablCache[label] = ds
 	return ds
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sweep [-sessions 2000] [-factor all|zipf|ram|retry|abr|buffer]
+//	sweep [-sessions 2000] [-factor all|zipf|ram|retry|abr|buffer] [-parallel 0]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 var (
 	sessions = flag.Int("sessions", 2000, "sessions per sweep point")
 	factor   = flag.String("factor", "all", "which factor to sweep (all|zipf|ram|retry|abr|buffer)")
+	parallel = flag.Int("parallel", 0, "max PoP shards simulated concurrently per sweep point (0 = GOMAXPROCS)")
 )
 
 func main() {
@@ -59,11 +60,16 @@ func baseScenario(seed uint64) workload.Scenario {
 		NumSessions: *sessions,
 		NumPrefixes: 400,
 		Catalog:     catalog.Config{NumVideos: 1500},
+		Parallelism: *parallel,
 	}
 }
 
 func run(sc workload.Scenario) *core.Dataset {
-	return core.FilterProxies(session.Run(sc), core.ProxyFilterConfig{}).Kept
+	ds, err := session.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return core.FilterProxies(ds, core.ProxyFilterConfig{}).Kept
 }
 
 func sweepZipf() {

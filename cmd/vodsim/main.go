@@ -7,6 +7,10 @@
 //
 //	vodsim -sessions 20000 -seed 1 -out trace.jsonl [-chunks-csv chunks.csv]
 //	       [-sessions-csv sessions.csv] [-abr hybrid] [-cold] [-filter-proxies]
+//	       [-parallel 0]
+//
+// The simulation is sharded by PoP and executed on up to -parallel engines
+// at once; the written trace is byte-identical at every -parallel value.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "master scenario seed")
 		abrName     = flag.String("abr", "hybrid", "ABR algorithm (hybrid, rate-smoothed, rate-instant, rate-instant-screened, buffer-based, server-signal, fixed-low, fixed-high)")
 		cold        = flag.Bool("cold", false, "skip CDN cache pre-warming (cold-start ablation)")
+		parallel    = flag.Int("parallel", 0, "max PoP shards simulated concurrently (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 		filterProxy = flag.Bool("filter-proxies", false, "apply the §3 proxy preprocessing before writing")
 		out         = flag.String("out", "trace.jsonl", "output JSONL trace path")
 		chunksCSV   = flag.String("chunks-csv", "", "optional CSV export of the chunk table")
@@ -39,9 +44,6 @@ func main() {
 	)
 	flag.Parse()
 
-	if _, err := session.NewABR(*abrName); err != nil {
-		log.Fatal(err)
-	}
 	sc := workload.Scenario{
 		Seed:        *seed,
 		NumSessions: *sessions,
@@ -49,10 +51,14 @@ func main() {
 		Catalog:     catalog.Config{NumVideos: *videos},
 		ABRName:     *abrName,
 		ColdStart:   *cold,
+		Parallelism: *parallel,
 	}
-	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v)",
-		*sessions, *seed, *abrName, *cold)
-	ds := session.Run(sc)
+	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v, parallel=%d)",
+		*sessions, *seed, *abrName, *cold, *parallel)
+	ds, err := session.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("generated %s", ds)
 
 	if *filterProxy {

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"vidperf/internal/catalog"
 	"vidperf/internal/core"
@@ -33,7 +34,10 @@ func main() {
 			Catalog:     catalog.Config{NumVideos: 1500},
 			ABRName:     name,
 		}
-		ds := session.Run(sc)
+		ds, err := session.Run(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-24s %10.0f %11.2f%% %12.0f %9.2f%%\n",
 			name, meanBitrate(ds), 100*meanRebuf(ds), medianStartup(ds), 100*meanDrops(ds))
 	}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"vidperf/internal/analysis"
 	"vidperf/internal/catalog"
@@ -26,7 +27,10 @@ func main() {
 
 	// 2. Run the end-to-end simulation: every chunk is instrumented at
 	//    the player, the CDN application layer, and the server TCP stack.
-	raw := session.Run(sc)
+	raw, err := session.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("simulated %v\n", raw)
 
 	// 3. Preprocess exactly like the paper's §3: drop proxy sessions.

@@ -1,0 +1,3 @@
+module vidperf
+
+go 1.24

@@ -21,13 +21,16 @@ var (
 // tests (large enough for stable shapes, small enough for fast tests).
 func mainDataset() *core.Dataset {
 	dsOnce.Do(func() {
-		raw := session.Run(workload.Scenario{
+		raw, err := session.Run(workload.Scenario{
 			Seed:              2016,
 			NumSessions:       6000,
 			NumPrefixes:       900,
 			MeanWatchedChunks: 12,
 			Catalog:           catalog.Config{NumVideos: 3000},
 		})
+		if err != nil {
+			panic(err)
+		}
 		dsMain = core.FilterProxies(raw, core.ProxyFilterConfig{}).Kept
 	})
 	return dsMain

@@ -1,6 +1,8 @@
 package cdn
 
 import (
+	"fmt"
+
 	"vidperf/internal/backend"
 	"vidperf/internal/stats"
 )
@@ -21,7 +23,10 @@ type FleetConfig struct {
 	PartitionTopRanks int
 }
 
-func (c FleetConfig) withDefaults() FleetConfig {
+// WithDefaults returns the effective configuration with zero fields
+// replaced by their defaults. Callers that partition work by PoP use it to
+// learn the effective NumPoPs before any server is built.
+func (c FleetConfig) WithDefaults() FleetConfig {
 	if c.NumPoPs == 0 {
 		c.NumPoPs = 6
 	}
@@ -32,31 +37,100 @@ func (c FleetConfig) withDefaults() FleetConfig {
 }
 
 // Fleet is the deployed server set plus the traffic-engineering mapping.
+// A Fleet may be partial: NewPoPFleet builds only one PoP's servers, so
+// shards of a partitioned simulation pay for exactly the servers their
+// sessions can reach. Server identity (ID, RNG stream, backend sampler)
+// depends only on (seed, popID, slot), never on which other PoPs exist,
+// so a partial fleet's servers behave identically to the same servers
+// inside a full fleet.
 type Fleet struct {
-	cfg     FleetConfig
-	Servers []*Server // indexed popID*ServersPerPoP + slot
+	cfg  FleetConfig
+	pops [][]*Server // indexed by PoP ID; nil for PoPs not built
 }
 
-// NewFleet builds all servers, each with an independent RNG stream and
-// backend sampler derived from r.
-func NewFleet(cfg FleetConfig, r *stats.Rand) *Fleet {
-	cfg = cfg.withDefaults()
-	f := &Fleet{cfg: cfg}
+// NewFleet builds every PoP's servers from the scenario seed.
+func NewFleet(cfg FleetConfig, seed uint64) *Fleet {
+	cfg = cfg.WithDefaults()
+	f := &Fleet{cfg: cfg, pops: make([][]*Server, cfg.NumPoPs)}
 	for pop := 0; pop < cfg.NumPoPs; pop++ {
-		for slot := 0; slot < cfg.ServersPerPoP; slot++ {
-			id := pop*cfg.ServersPerPoP + slot
-			be := backend.New(cfg.Backend, r.Split())
-			f.Servers = append(f.Servers, NewServer(id, pop, cfg.Server, be, r.Split()))
-		}
+		f.pops[pop] = buildPoP(cfg, seed, pop)
 	}
 	return f
+}
+
+// NewPoPFleet builds a partial fleet holding only popID's servers. An
+// out-of-range popID clamps to 0, mirroring ServerFor's fallback.
+func NewPoPFleet(cfg FleetConfig, seed uint64, popID int) *Fleet {
+	cfg = cfg.WithDefaults()
+	if popID < 0 || popID >= cfg.NumPoPs {
+		popID = 0
+	}
+	f := &Fleet{cfg: cfg, pops: make([][]*Server, cfg.NumPoPs)}
+	f.pops[popID] = buildPoP(cfg, seed, popID)
+	return f
+}
+
+// buildPoP constructs one PoP's server slice. The PoP's RNG root is
+// derived from (seed, popID) alone — not from a shared sequential stream —
+// which is what makes sharded and whole-fleet construction agree.
+func buildPoP(cfg FleetConfig, seed uint64, popID int) []*Server {
+	r := stats.NewRand(mix(seed^0x5eed5eed5eed5eed) ^ mix(uint64(popID)+1))
+	servers := make([]*Server, cfg.ServersPerPoP)
+	for slot := 0; slot < cfg.ServersPerPoP; slot++ {
+		id := popID*cfg.ServersPerPoP + slot
+		be := backend.New(cfg.Backend, r.Split())
+		servers[slot] = NewServer(id, popID, cfg.Server, be, r.Split())
+	}
+	return servers
 }
 
 // Config returns the effective fleet configuration.
 func (f *Fleet) Config() FleetConfig { return f.cfg }
 
-// NumServers returns the total server count.
-func (f *Fleet) NumServers() int { return len(f.Servers) }
+// NumServers returns the number of servers actually built.
+func (f *Fleet) NumServers() int {
+	n := 0
+	for _, srvs := range f.pops {
+		n += len(srvs)
+	}
+	return n
+}
+
+// Servers returns every built server in ID order.
+func (f *Fleet) Servers() []*Server {
+	out := make([]*Server, 0, f.NumServers())
+	for _, srvs := range f.pops {
+		out = append(out, srvs...)
+	}
+	return out
+}
+
+// BuiltPoPs lists the PoP IDs this fleet holds servers for, ascending.
+func (f *Fleet) BuiltPoPs() []int {
+	var out []int
+	for pop, srvs := range f.pops {
+		if srvs != nil {
+			out = append(out, pop)
+		}
+	}
+	return out
+}
+
+// ClampPoP maps an arbitrary PoP ID onto one this fleet serves: in-range
+// built PoPs map to themselves, everything else to the first built PoP.
+// Partitioners must use the same rule so every session lands on a shard
+// whose fleet can serve it.
+func (f *Fleet) ClampPoP(popID int) int {
+	if popID >= 0 && popID < len(f.pops) && f.pops[popID] != nil {
+		return popID
+	}
+	for pop, srvs := range f.pops {
+		if srvs != nil {
+			return pop
+		}
+	}
+	panic("cdn: fleet has no servers")
+}
 
 // ServerFor implements the paper's cache-focused traffic engineering:
 // within the client's PoP, a video is consistently hashed to one server so
@@ -64,28 +138,33 @@ func (f *Fleet) NumServers() int { return len(f.Servers) }
 // most popular ranks are instead spread per-session across the PoP's
 // servers to balance load.
 func (f *Fleet) ServerFor(popID, videoID, videoRank int, sessionID uint64) *Server {
-	if popID < 0 || popID >= f.cfg.NumPoPs {
-		popID = 0
-	}
+	popID = f.ClampPoP(popID)
 	var slot int
 	if f.cfg.PartitionTopRanks > 0 && videoRank < f.cfg.PartitionTopRanks {
 		slot = int(mix(uint64(videoID)*0x9e3779b97f4a7c15^sessionID) % uint64(f.cfg.ServersPerPoP))
 	} else {
 		slot = int(mix(uint64(videoID)) % uint64(f.cfg.ServersPerPoP))
 	}
-	return f.Servers[popID*f.cfg.ServersPerPoP+slot]
+	return f.pops[popID][slot]
 }
 
-// PoPServers returns the servers of one PoP (for warmup and inspection).
+// PoPServers returns the servers of one PoP (for warmup and inspection),
+// or nil when the PoP is out of range or not built in this fleet.
 func (f *Fleet) PoPServers(popID int) []*Server {
-	if popID < 0 || popID >= f.cfg.NumPoPs {
+	if popID < 0 || popID >= len(f.pops) {
 		return nil
 	}
-	start := popID * f.cfg.ServersPerPoP
-	return f.Servers[start : start+f.cfg.ServersPerPoP]
+	return f.pops[popID]
 }
 
-// mix is a 64-bit finalizer (splitmix64) used for consistent hashing.
+// String summarizes the fleet (useful in shard logs).
+func (f *Fleet) String() string {
+	return fmt.Sprintf("fleet{%d/%d PoPs, %d servers}",
+		len(f.BuiltPoPs()), f.cfg.NumPoPs, f.NumServers())
+}
+
+// mix is a 64-bit finalizer (splitmix64) used for consistent hashing and
+// for deriving per-PoP RNG roots.
 func mix(z uint64) uint64 {
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -185,8 +185,7 @@ func TestUnknownPolicyPanics(t *testing.T) {
 }
 
 func TestFleetMapping(t *testing.T) {
-	r := stats.NewRand(9)
-	f := NewFleet(FleetConfig{NumPoPs: 3, ServersPerPoP: 4}, r)
+	f := NewFleet(FleetConfig{NumPoPs: 3, ServersPerPoP: 4}, 9)
 	if f.NumServers() != 12 {
 		t.Fatalf("servers = %d", f.NumServers())
 	}
@@ -214,8 +213,7 @@ func TestFleetMapping(t *testing.T) {
 }
 
 func TestFleetPartitioningSpreadsPopular(t *testing.T) {
-	r := stats.NewRand(10)
-	f := NewFleet(FleetConfig{NumPoPs: 1, ServersPerPoP: 8, PartitionTopRanks: 100}, r)
+	f := NewFleet(FleetConfig{NumPoPs: 1, ServersPerPoP: 8, PartitionTopRanks: 100}, 10)
 	// A popular video (rank < 100) should land on many servers across
 	// sessions; an unpopular one stays pinned.
 	popServers := make(map[int]bool)

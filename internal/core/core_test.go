@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/csv"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"vidperf/internal/stats"
@@ -235,33 +237,6 @@ func TestDatasetIndexAndLookup(t *testing.T) {
 	}
 }
 
-func TestJSONLRoundTrip(t *testing.T) {
-	d := &Dataset{
-		Sessions: []SessionRecord{{SessionID: 1, Browser: "Chrome", StartupMS: 900}},
-		Chunks: []ChunkRecord{
-			sampleChunk(),
-			{SessionID: 1, ChunkID: 1, DFBms: 80, CacheLevel: "disk"},
-		},
-	}
-	var buf bytes.Buffer
-	if err := WriteJSONL(&buf, d); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadJSONL(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got.Sessions) != 1 || len(got.Chunks) != 2 {
-		t.Fatalf("round trip lost records: %v", got)
-	}
-	if got.Chunks[0] != d.Chunks[0] {
-		t.Error("chunk did not round-trip")
-	}
-	if got.Sessions[0].Browser != "Chrome" {
-		t.Error("session did not round-trip")
-	}
-}
-
 func TestCSVExports(t *testing.T) {
 	var cb, sb bytes.Buffer
 	if err := WriteChunksCSV(&cb, []ChunkRecord{sampleChunk()}); err != nil {
@@ -282,5 +257,186 @@ func TestCSVExports(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "Firefox") {
 		t.Error("session csv missing data")
+	}
+}
+
+func sampleSession(id uint64) SessionRecord {
+	return SessionRecord{
+		SessionID: id, HTTPClientIP: "10.0.0.1", BeaconIP: "10.0.0.1",
+		UserAgent: "ua", OS: "Windows", Browser: "Chrome", PopularBrowser: true,
+		VideoID: 7, VideoRank: 3, VideoLenSec: 600, NumChunks: 2,
+		PrefixID: 4, Prefix: "prefix-0004/24", Country: "US", US: true,
+		PoP: 1, ServerID: 19, OrgName: "ResidentialISP#1", OrgType: "residential",
+		ConnType: "cable", DistanceKM: 120.5,
+		StartupMS: 900, RebufCount: 1, RebufDurMS: 300, RebufferRate: 0.01,
+		AvgBitrateKbps: 1750, PlayedSec: 55,
+		SRTTMinMS: 40, SRTTMeanMS: 45, SRTTStdMS: 2, SRTTCV: 0.04,
+		RetxRate: 0.001, HadLoss: true, GPU: true, CPUCores: 4, CPULoad: 0.2,
+	}
+}
+
+// TestJSONLRoundTrip checks that a write/read cycle reproduces the
+// dataset exactly, including the NaN startup time of sessions that never
+// began playback (encoded as null on the wire).
+func TestJSONLRoundTrip(t *testing.T) {
+	ds := &Dataset{Sessions: []SessionRecord{sampleSession(1), sampleSession(2)}}
+	ds.Sessions[1].StartupMS = math.NaN()
+	c0 := sampleChunk()
+	c1 := sampleChunk()
+	c1.ChunkID = 1
+	c1.CacheHit = false
+	c1.CacheLevel = "miss"
+	c1.DBEms = 80
+	ds.Chunks = []ChunkRecord{c0, c1}
+	ds.Index()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ds); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(got.Sessions) != 2 || len(got.Chunks) != 2 {
+		t.Fatalf("round trip lost records: %s", got)
+	}
+	if got.Sessions[0] != ds.Sessions[0] {
+		t.Errorf("session 1 changed:\n got %+v\nwant %+v", got.Sessions[0], ds.Sessions[0])
+	}
+	if !math.IsNaN(got.Sessions[1].StartupMS) {
+		t.Errorf("NaN startup came back as %v", got.Sessions[1].StartupMS)
+	}
+	// Compare session 2 field-wise around the NaN (NaN != NaN).
+	s2 := got.Sessions[1]
+	s2.StartupMS = 0
+	want2 := ds.Sessions[1]
+	want2.StartupMS = 0
+	if s2 != want2 {
+		t.Errorf("session 2 changed:\n got %+v\nwant %+v", s2, want2)
+	}
+	for i := range got.Chunks {
+		if got.Chunks[i] != ds.Chunks[i] {
+			t.Errorf("chunk %d changed:\n got %+v\nwant %+v", i, got.Chunks[i], ds.Chunks[i])
+		}
+	}
+	// A second write must be byte-identical (the determinism contract the
+	// sharded runner's tests rely on).
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, got); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("write -> read -> write is not byte-stable")
+	}
+}
+
+// TestCSVRoundTrip parses the CSV exports back and spot-checks that the
+// tables carry the same rows and key fields.
+func TestCSVRoundTrip(t *testing.T) {
+	sessions := []SessionRecord{sampleSession(1), sampleSession(9)}
+	chunks := []ChunkRecord{sampleChunk()}
+
+	var cb bytes.Buffer
+	if err := WriteChunksCSV(&cb, chunks); err != nil {
+		t.Fatalf("WriteChunksCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&cb).ReadAll()
+	if err != nil {
+		t.Fatalf("parse chunks csv: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("chunk csv rows = %d, want header+1", len(rows))
+	}
+	if len(rows[0]) != len(rows[1]) {
+		t.Fatalf("header has %d cols, row has %d", len(rows[0]), len(rows[1]))
+	}
+	if rows[1][0] != "1" || rows[1][1] != "0" {
+		t.Errorf("chunk key columns = %v", rows[1][:2])
+	}
+	if rows[1][11] != "1" || rows[1][12] != "ram" {
+		t.Errorf("cache columns = %v", rows[1][11:13])
+	}
+
+	var sb bytes.Buffer
+	if err := WriteSessionsCSV(&sb, sessions); err != nil {
+		t.Fatalf("WriteSessionsCSV: %v", err)
+	}
+	srows, err := csv.NewReader(&sb).ReadAll()
+	if err != nil {
+		t.Fatalf("parse sessions csv: %v", err)
+	}
+	if len(srows) != 3 {
+		t.Fatalf("session csv rows = %d, want header+2", len(srows))
+	}
+	if srows[1][0] != "1" || srows[2][0] != "9" {
+		t.Errorf("session ids = %v, %v", srows[1][0], srows[2][0])
+	}
+	if len(srows[0]) != len(srows[1]) {
+		t.Fatalf("header has %d cols, row has %d", len(srows[0]), len(srows[1]))
+	}
+}
+
+// TestMergeCanonicalOrder checks the deterministic merge: shard order and
+// completion order must not affect the result.
+func TestMergeCanonicalOrder(t *testing.T) {
+	mk := func(ids ...uint64) *Dataset {
+		d := &Dataset{}
+		for _, id := range ids {
+			s := sampleSession(id)
+			d.Sessions = append(d.Sessions, s)
+			for ci := 0; ci < 2; ci++ {
+				c := sampleChunk()
+				c.SessionID = id
+				c.ChunkID = ci
+				d.Chunks = append(d.Chunks, c)
+			}
+		}
+		return d
+	}
+	a := Merge(mk(3, 1), nil, mk(4, 2))
+	b := Merge(mk(2, 4), mk(1, 3))
+	if len(a.Sessions) != 4 || len(a.Chunks) != 8 {
+		t.Fatalf("merged sizes wrong: %s", a)
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i].SessionID != uint64(i+1) {
+			t.Fatalf("sessions not in canonical order: %d at %d", a.Sessions[i].SessionID, i)
+		}
+		if a.Sessions[i] != b.Sessions[i] {
+			t.Fatal("merge depends on shard order")
+		}
+	}
+	for i := range a.Chunks {
+		if a.Chunks[i] != b.Chunks[i] {
+			t.Fatal("chunk merge depends on shard order")
+		}
+	}
+	if a.Session(3) == nil || a.Session(3).SessionID != 3 {
+		t.Error("merged dataset not indexed")
+	}
+}
+
+// TestCollectorConcurrentAdd exercises the shard-sink path under real
+// concurrency.
+func TestCollectorConcurrentAdd(t *testing.T) {
+	var col Collector
+	var wg sync.WaitGroup
+	for i := 1; i <= 16; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			col.Add(&Dataset{Sessions: []SessionRecord{sampleSession(id)}})
+		}(uint64(i))
+	}
+	wg.Wait()
+	m := col.Merge()
+	if len(m.Sessions) != 16 {
+		t.Fatalf("collector lost sessions: %d/16", len(m.Sessions))
+	}
+	for i := range m.Sessions {
+		if m.Sessions[i].SessionID != uint64(i+1) {
+			t.Fatalf("not canonical at %d: %d", i, m.Sessions[i].SessionID)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -16,7 +17,8 @@ func WriteJSONL(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range d.Sessions {
-		if err := enc.Encode(jsonlLine{Session: &d.Sessions[i]}); err != nil {
+		s := &d.Sessions[i]
+		if err := enc.Encode(jsonlLine{Session: &jsonSession{s, jsonFloat(s.StartupMS)}}); err != nil {
 			return fmt.Errorf("core: write session: %w", err)
 		}
 	}
@@ -29,8 +31,38 @@ func WriteJSONL(w io.Writer, d *Dataset) error {
 }
 
 type jsonlLine struct {
-	Session *SessionRecord `json:"session,omitempty"`
-	Chunk   *ChunkRecord   `json:"chunk,omitempty"`
+	Session *jsonSession `json:"session,omitempty"`
+	Chunk   *ChunkRecord `json:"chunk,omitempty"`
+}
+
+// jsonSession shadows SessionRecord.StartupMS with a null-tolerant float:
+// sessions that never started playback carry StartupMS = NaN, which JSON
+// cannot represent, so the wire format uses null instead.
+type jsonSession struct {
+	*SessionRecord
+	StartupMS jsonFloat
+}
+
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
 }
 
 // ReadJSONL loads a dataset written by WriteJSONL.
@@ -46,7 +78,12 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 		}
 		switch {
 		case line.Session != nil:
-			d.Sessions = append(d.Sessions, *line.Session)
+			rec := SessionRecord{}
+			if line.Session.SessionRecord != nil {
+				rec = *line.Session.SessionRecord
+			}
+			rec.StartupMS = float64(line.Session.StartupMS)
+			d.Sessions = append(d.Sessions, rec)
 		case line.Chunk != nil:
 			d.Chunks = append(d.Chunks, *line.Chunk)
 		}

@@ -20,13 +20,16 @@ const figMaxRank = 3000
 
 func figDataset() *core.Dataset {
 	figOnce.Do(func() {
-		raw := session.Run(workload.Scenario{
+		raw, err := session.Run(workload.Scenario{
 			Seed:              2016,
 			NumSessions:       6000,
 			NumPrefixes:       900,
 			MeanWatchedChunks: 12,
 			Catalog:           catalog.Config{NumVideos: figMaxRank},
 		})
+		if err != nil {
+			panic(err)
+		}
 		figDS = core.FilterProxies(raw, core.ProxyFilterConfig{}).Kept
 	})
 	return figDS

@@ -8,22 +8,24 @@
 // requests (the paper's session model); the engine interleaves thousands
 // of sessions so the servers' caches and worker pools see a realistic
 // request mix.
+//
+// Execution is sharded by PoP. Sessions never cross PoPs (the fleet maps
+// every session to its prefix's PoP), so the campaign splits into one
+// closed event system per PoP: the runner plans the partition, executes
+// each shard on its own sim.Engine — up to Scenario.Parallelism engines
+// concurrently — and merges the per-shard datasets into the canonical
+// (SessionID, ChunkID) order. Because every random stream derives from
+// (seed, PoP) or (seed, session ID) alone, the merged trace is
+// byte-identical at any parallelism level.
 package session
 
 import (
 	"fmt"
-	"math"
 
 	"vidperf/internal/abr"
-	"vidperf/internal/catalog"
 	"vidperf/internal/cdn"
-	"vidperf/internal/clientstack"
 	"vidperf/internal/core"
-	"vidperf/internal/netpath"
-	"vidperf/internal/player"
 	"vidperf/internal/sim"
-	"vidperf/internal/stats"
-	"vidperf/internal/tcpmodel"
 	"vidperf/internal/workload"
 )
 
@@ -54,304 +56,98 @@ func NewABR(name string) (abr.Algorithm, error) {
 }
 
 // Run executes the scenario and returns the full (pre-filtering) dataset.
-func Run(sc workload.Scenario) *core.Dataset {
-	pop := workload.Build(sc)
-	return RunOnPopulation(pop)
+// The ABR name is validated before the population is built so flag typos
+// fail fast instead of after seconds of world generation.
+func Run(sc workload.Scenario) (*core.Dataset, error) {
+	if _, err := NewABR(sc.ABRName); err != nil {
+		return nil, err
+	}
+	return RunOnPopulation(workload.Build(sc))
 }
 
 // RunOnPopulation executes sessions against an already-built population
-// (so benches can reuse one population across variants).
-func RunOnPopulation(pop *workload.Population) *core.Dataset {
-	sc := pop.Scenario
-	algo, err := NewABR(sc.ABRName)
+// (so benches can reuse one population across variants). It proceeds in
+// three phases: plan (partition sessions by PoP), execute (one engine per
+// shard, Scenario.Parallelism shards at a time), merge (canonical order).
+func RunOnPopulation(pop *workload.Population) (*core.Dataset, error) {
+	shards, err := planShards(pop)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	rootR := stats.NewRand(sc.Seed ^ 0x5eed5eed5eed5eed)
-	fleet := cdn.NewFleet(sc.Fleet, rootR.Split())
-	if !sc.ColdStart {
-		WarmFleet(fleet, pop.Catalog)
-	}
-	eng := &sim.Engine{}
-	ds := &core.Dataset{}
-
-	for id := uint64(1); id <= uint64(sc.NumSessions); id++ {
-		plan := pop.PlanSession(id)
-		s := newSessionState(pop, plan, algo, fleet, eng, ds)
-		eng.At(plan.ArrivalMS, func(float64) { s.requestNextChunk() })
-	}
-	eng.Run()
-	ds.Index()
-	return ds
+	var col core.Collector
+	executeShards(pop.Scenario.Parallelism, shards, &col)
+	return col.Merge(), nil
 }
 
-// sessionState is one in-flight session.
-type sessionState struct {
+// popShard is one PoP's slice of the campaign: the sessions it serves,
+// its private fleet partition, engine, and dataset sink. Shards share
+// only the immutable population.
+type popShard struct {
 	pop   *workload.Population
-	plan  workload.SessionPlan
+	ids   []uint64
 	algo  abr.Algorithm
-	fleet *cdn.Fleet
-	eng   *sim.Engine
+	shard sim.Shard
 	ds    *core.Dataset
-
-	r      *stats.Rand
-	conn   *tcpmodel.Conn
-	cong   *netpath.Congestion
-	play   *player.Player
-	est    *abr.Estimator
-	server *cdn.Server
-
-	chunkIdx    int
-	records     []core.ChunkRecord
-	sumKbpsDur  float64
-	sumDur      float64
-	lastOutlier bool
-	prevRebufN  int
-	prevRebufMS float64
-	retxAtStart int
 }
 
-func newSessionState(pop *workload.Population, plan workload.SessionPlan,
-	algo abr.Algorithm, fleet *cdn.Fleet, eng *sim.Engine, ds *core.Dataset) *sessionState {
-
-	r := stats.NewRand(pop.Scenario.Seed ^ (plan.ID * 0xdeadbeefcafef00d))
-	return &sessionState{
-		pop:   pop,
-		plan:  plan,
-		algo:  algo,
-		fleet: fleet,
-		eng:   eng,
-		ds:    ds,
-		r:     r,
-		conn:  tcpmodel.New(plan.PathParams, r.Split()),
-		cong:  plan.Prefix.Profile.NewCongestion(r),
-		play:  player.New(pop.Scenario.StartThresholdSec),
-		est:   abr.NewEstimator(0.3),
+// planShards partitions the campaign by PoP and validates the scenario.
+// It is the phase where configuration errors surface, before any of the
+// expensive per-shard work starts.
+func planShards(pop *workload.Population) ([]*popShard, error) {
+	sc := pop.Scenario
+	cfg := sc.Fleet.WithDefaults()
+	parts := pop.PartitionByPoP(cfg.NumPoPs)
+	shards := make([]*popShard, 0, len(parts))
+	for popID, ids := range parts {
+		if len(ids) == 0 {
+			continue
+		}
+		algo, err := NewABR(sc.ABRName)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, &popShard{
+			pop:   pop,
+			ids:   ids,
+			algo:  algo,
+			shard: sim.Shard{ID: popID},
+			ds:    &core.Dataset{},
+		})
 	}
+	return shards, nil
 }
 
-// abrContext assembles the signals the adaptation algorithm sees.
-func (s *sessionState) abrContext() abr.Context {
-	info := s.conn.Info()
-	return abr.Context{
-		Ladder:        s.pop.Catalog.Bitrates,
-		ChunkIndex:    s.chunkIdx,
-		BufferSec:     s.play.BufferSec(),
-		LastChunkKbps: s.lastInstantKbps(),
-		SmoothedKbps:  s.est.Kbps(),
-		ServerKbps:    info.ThroughputKbps(),
-		StackOutlier:  s.lastOutlier,
+// executeShards runs every shard's event loop, at most parallelism at a
+// time, and collects the finished per-shard datasets.
+func executeShards(parallelism int, shards []*popShard, col *core.Collector) {
+	byPoP := make(map[int]*popShard, len(shards))
+	simShards := make([]*sim.Shard, 0, len(shards))
+	for _, sh := range shards {
+		byPoP[sh.shard.ID] = sh
+		simShards = append(simShards, &sh.shard)
 	}
-}
-
-func (s *sessionState) lastInstantKbps() float64 {
-	if len(s.records) == 0 {
-		return 0
-	}
-	return s.records[len(s.records)-1].InstantThroughputKbps()
-}
-
-// requestNextChunk issues the HTTP GET for the current chunk.
-func (s *sessionState) requestNextChunk() {
-	idx := s.chunkIdx
-	bitrate := s.algo.Next(s.abrContext())
-	dur := s.pop.Catalog.ChunkDurationSec(s.plan.Video, idx)
-	size := catalog.ChunkSizeBytes(bitrate, dur)
-	key := catalog.ChunkKey(s.plan.Video.ID, idx, bitrate)
-
-	// Path state for this chunk: cross-traffic episode level. A congested
-	// uplink both delays and drops, so the episode raises the loss rate.
-	extra := s.cong.Step(s.r)
-	s.conn.SetExtraDelayMS(extra)
-	s.conn.SetRandomLossProb(s.plan.PathParams.RandomLossProb + netpath.LossBoost(extra))
-
-	req := cdn.Request{
-		Key: key, SizeBytes: size,
-		VideoID: s.plan.Video.ID, ChunkIndex: idx,
-		Next: s.prefetchList(idx, bitrate),
-	}
-	s.server = s.fleet.ServerFor(s.plan.Prefix.PoP, s.plan.Video.ID, s.plan.Video.Rank, s.plan.ID)
-	t0 := s.eng.Now()
-	s.retxAtStart = s.conn.Info().RetransTotal
-	s.server.Serve(s.eng, req, func(res cdn.ServeResult) {
-		s.onServed(t0, idx, bitrate, dur, size, res)
+	sim.RunShards(parallelism, simShards, func(s *sim.Shard) {
+		sh := byPoP[s.ID]
+		sh.run()
+		col.Add(sh.ds)
 	})
 }
 
-// prefetchList names the session's next two chunks for servers with
-// prefetching enabled.
-func (s *sessionState) prefetchList(idx, bitrate int) []cdn.NextChunk {
-	if s.fleet.Config().Server.Prefetch == 0 {
-		return nil
+// run builds the shard's fleet partition, warms it, schedules the shard's
+// session arrivals, and drains the event loop. Everything it touches is
+// shard-private except the read-only population.
+func (sh *popShard) run() {
+	sc := sh.pop.Scenario
+	popID := sh.shard.ID
+	fleet := cdn.NewPoPFleet(sc.Fleet, sc.Seed, popID)
+	if !sc.ColdStart {
+		WarmPoP(fleet, sh.pop.Catalog, popID)
 	}
-	var out []cdn.NextChunk
-	for n := idx + 1; n <= idx+2 && n < s.plan.WatchChunks; n++ {
-		d := s.pop.Catalog.ChunkDurationSec(s.plan.Video, n)
-		out = append(out, cdn.NextChunk{
-			Key:       catalog.ChunkKey(s.plan.Video.ID, n, bitrate),
-			SizeBytes: catalog.ChunkSizeBytes(bitrate, d),
-		})
+	eng := &sh.shard.Engine
+	for _, id := range sh.ids {
+		plan := sh.pop.PlanSession(id)
+		s := newSessionState(sh.pop, plan, sh.algo, fleet, eng, sh.ds)
+		eng.At(plan.ArrivalMS, func(float64) { s.requestNextChunk() })
 	}
-	return out
-}
-
-// onServed fires when the server has the chunk's first byte ready; the
-// network transfer and client-side handling follow.
-func (s *sessionState) onServed(t0 float64, idx, bitrate int, dur float64, size int64, res cdn.ServeResult) {
-	tr := s.conn.Transfer(size)
-	dds := s.plan.Stack.Sample(idx, s.r)
-
-	// Eq. 1 composition: D_FB = rtt0 + D_CDN + D_BE + D_DS.
-	dfb := tr.RTT0ms + res.ServerLatencyMS() + dds.DDSms
-	dlb := tr.LastByteMS + dds.DeliveryStretchMS
-	if dds.Transient {
-		// The stack held the early bytes and released them late: the
-		// player sees a late first byte and a compressed download window.
-		dlb = math.Max(5, dlb-dds.TransientDelayMS)
-	}
-	tLastByte := t0 + dfb + dlb
-
-	// Player-side accounting.
-	s.play.AdvanceTo(tLastByte)
-	bufferedBefore := s.play.BufferSec()
-	s.play.OnChunkDownloaded(tLastByte, dur)
-
-	// Rendering path.
-	visible := !s.r.Bool(s.plan.HiddenProb)
-	rate := 0.0
-	if dfb+dlb > 0 {
-		rate = dur / ((dfb + dlb) / 1000)
-	}
-	render := clientstack.RenderChunk(s.plan.Platform, visible, rate, bitrate,
-		s.pop.Scenario.FPS, dur, bufferedBefore, s.r)
-
-	info := s.conn.Info()
-	rec := core.ChunkRecord{
-		SessionID: s.plan.ID, ChunkID: idx,
-		DFBms: dfb, DLBms: dlb,
-		BitrateKbps: bitrate, SizeBytes: size, DurationSec: dur,
-		BufCount: s.play.RebufCount() - s.prevRebufN,
-		BufDurMS: s.play.RebufDurMS() - s.prevRebufMS,
-		Visible:  visible,
-		AvgFPS:   render.AvgFPS, DroppedFrames: render.FramesDropped,
-		TotalFrames: render.FramesTotal, HardwareRender: render.Hardware,
-		DwaitMS: res.DwaitMS, DopenMS: res.DopenMS, DreadMS: res.DreadMS,
-		DBEms: res.DBEms, CacheHit: res.CacheHit(),
-		CacheLevel: res.Level.String(), RetryTimer: res.RetryTimer,
-		CWND: info.CWNDSegments, SRTTms: info.SRTTms, SRTTVarMS: info.RTTVarMS,
-		MSS: info.MSS, RetxTotal: info.RetransTotal,
-		SegsSent: tr.SegmentsSent, SegsLost: tr.SegmentsLost,
-		TruthDDSms: dds.DDSms, TruthTransient: dds.Transient,
-	}
-	s.records = append(s.records, rec)
-	s.prevRebufN = s.play.RebufCount()
-	s.prevRebufMS = s.play.RebufDurMS()
-	s.sumKbpsDur += float64(bitrate) * dur
-	s.sumDur += dur
-
-	// Feed the ABR estimator with the player's (possibly poisoned) view.
-	if dlb > 0 {
-		s.est.Observe(float64(size) * 8 / dlb)
-	}
-	s.lastOutlier = dds.Transient
-
-	s.chunkIdx++
-	if s.chunkIdx >= s.plan.WatchChunks {
-		s.finish()
-		return
-	}
-	// Viewers abandon on bad QoE (Krishnan & Sitaraman): each stall risks
-	// losing the viewer, which is why heavily re-buffering sessions are
-	// not over-represented at high chunk IDs.
-	if rec.BufCount > 0 && s.r.Bool(0.35) {
-		s.finish()
-		return
-	}
-
-	// Steady state: request the next chunk immediately unless the buffer
-	// is full, in which case wait for it to drain to the high-water mark.
-	nextAt := tLastByte
-	if over := s.play.BufferSec() - s.pop.Scenario.MaxBufferSec; over > 0 {
-		wait := over * 1000
-		nextAt += wait
-		s.conn.AdvanceIdle(wait)
-	}
-	s.eng.At(nextAt, func(float64) { s.requestNextChunk() })
-}
-
-// finish closes the session and writes its records into the dataset.
-func (s *sessionState) finish() {
-	s.play.Finish()
-	cs := core.ComputeSessionChunkStats(s.records)
-
-	// The session's SRTT series is the per-chunk kernel snapshot (Table 2,
-	// "CDN TCP layer"), one equally-weighted sample per chunk.
-	srttSeries := make([]float64, 0, len(s.records))
-	for i := range s.records {
-		srttSeries = append(srttSeries, s.records[i].SRTTms)
-	}
-	var srttMin, srttMean, srttStd, srttCV float64
-	if len(srttSeries) > 0 {
-		srttMin = stats.Min(srttSeries)
-		srttMean = stats.Mean(srttSeries)
-		srttStd = stats.Std(srttSeries)
-		if srttMean > 0 {
-			srttCV = srttStd / srttMean
-		}
-	}
-	avgKbps := 0.0
-	if s.sumDur > 0 {
-		avgKbps = s.sumKbpsDur / s.sumDur
-	}
-	pl := s.plan
-	rec := core.SessionRecord{
-		SessionID:      pl.ID,
-		HTTPClientIP:   pl.HTTPIP,
-		BeaconIP:       pl.ClientIP,
-		UserAgent:      pl.Platform.UserAgent(),
-		OS:             pl.Platform.OS.String(),
-		Browser:        pl.Platform.Browser.String(),
-		PopularBrowser: pl.Platform.Browser.Popular(),
-		VideoID:        pl.Video.ID,
-		VideoRank:      pl.Video.Rank,
-		VideoLenSec:    pl.Video.DurationSec,
-		NumChunks:      len(s.records),
-		PrefixID:       pl.Prefix.ID,
-		Prefix:         pl.Prefix.Label,
-		Country:        pl.Prefix.Country,
-		US:             pl.Prefix.US,
-		PoP:            pl.Prefix.PoP,
-		ServerID:       s.serverID(),
-		OrgName:        pl.Prefix.Profile.OrgName,
-		OrgType:        pl.Prefix.Profile.Org.String(),
-		ConnType:       workload.ConnTypeLabel(pl.Prefix),
-		DistanceKM:     pl.Prefix.DistKM,
-		StartupMS:      s.play.StartupMS() - pl.ArrivalMS,
-		RebufCount:     s.play.RebufCount(),
-		RebufDurMS:     s.play.RebufDurMS(),
-		RebufferRate:   s.play.RebufferRate(),
-		AvgBitrateKbps: avgKbps,
-		PlayedSec:      s.play.PlayedSec(),
-		SRTTMinMS:      srttMin,
-		SRTTMeanMS:     srttMean,
-		SRTTStdMS:      srttStd,
-		SRTTCV:         srttCV,
-		RetxRate:       cs.RetxRate(),
-		HadLoss:        cs.AnyLoss,
-		GPU:            pl.Platform.GPU,
-		CPUCores:       pl.Platform.CPUCores,
-		CPULoad:        pl.Platform.CPULoad,
-	}
-	if !s.play.Started() {
-		rec.StartupMS = math.NaN()
-	}
-	s.ds.Sessions = append(s.ds.Sessions, rec)
-	s.ds.Chunks = append(s.ds.Chunks, s.records...)
-}
-
-func (s *sessionState) serverID() int {
-	if s.server != nil {
-		return s.server.ID
-	}
-	return -1
+	eng.Run()
 }

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -21,8 +22,17 @@ func smallScenario(seed uint64) workload.Scenario {
 	}
 }
 
+func mustRun(t *testing.T, sc workload.Scenario) *core.Dataset {
+	t.Helper()
+	ds, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return ds
+}
+
 func TestRunProducesConsistentDataset(t *testing.T) {
-	ds := Run(smallScenario(1))
+	ds := mustRun(t, smallScenario(1))
 	if len(ds.Sessions) != 300 {
 		t.Fatalf("sessions = %d", len(ds.Sessions))
 	}
@@ -62,8 +72,8 @@ func TestRunProducesConsistentDataset(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a := Run(smallScenario(7))
-	b := Run(smallScenario(7))
+	a := mustRun(t, smallScenario(7))
+	b := mustRun(t, smallScenario(7))
 	if len(a.Chunks) != len(b.Chunks) {
 		t.Fatalf("chunk counts differ: %d vs %d", len(a.Chunks), len(b.Chunks))
 	}
@@ -74,10 +84,60 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelismByteIdentical is the tentpole guarantee: a sharded run
+// at any parallelism serializes to exactly the bytes of the sequential
+// run at the same seed.
+func TestParallelismByteIdentical(t *testing.T) {
+	serialize := func(par int) []byte {
+		sc := smallScenario(21)
+		sc.Parallelism = par
+		ds := mustRun(t, sc)
+		var buf bytes.Buffer
+		if err := core.WriteJSONL(&buf, ds); err != nil {
+			t.Fatalf("WriteJSONL(par=%d): %v", par, err)
+		}
+		return buf.Bytes()
+	}
+	seq := serialize(1)
+	for _, par := range []int{2, 8} {
+		if got := serialize(par); !bytes.Equal(seq, got) {
+			t.Fatalf("Parallelism=%d trace differs from sequential (%d vs %d bytes)",
+				par, len(got), len(seq))
+		}
+	}
+}
+
+// TestRunShardsCoverEverySession checks the plan phase: the PoP partition
+// must neither drop nor duplicate sessions.
+func TestRunShardsCoverEverySession(t *testing.T) {
+	ds := mustRun(t, smallScenario(23))
+	seen := map[uint64]bool{}
+	for i := range ds.Sessions {
+		id := ds.Sessions[i].SessionID
+		if seen[id] {
+			t.Fatalf("session %d appears twice", id)
+		}
+		seen[id] = true
+	}
+	for id := uint64(1); id <= 300; id++ {
+		if !seen[id] {
+			t.Fatalf("session %d missing from merged dataset", id)
+		}
+	}
+}
+
+func TestRunUnknownABRReturnsError(t *testing.T) {
+	sc := smallScenario(1)
+	sc.ABRName = "definitely-not-an-abr"
+	if _, err := Run(sc); err == nil {
+		t.Fatal("Run accepted an unknown ABR name")
+	}
+}
+
 func TestEquationOneComposition(t *testing.T) {
 	// D_FB must decompose per Eq. 1: rtt0 = DFB − DCDN − DBE − DDS > 0,
 	// and the analysis-visible upper bound must cover the truth.
-	ds := Run(smallScenario(3))
+	ds := mustRun(t, smallScenario(3))
 	for i := range ds.Chunks {
 		c := &ds.Chunks[i]
 		rtt0 := c.DFBms - c.DCDNms() - c.DBEms - c.TruthDDSms
@@ -91,7 +151,7 @@ func TestEquationOneComposition(t *testing.T) {
 }
 
 func TestQoEMetricsSane(t *testing.T) {
-	ds := Run(smallScenario(5))
+	ds := mustRun(t, smallScenario(5))
 	startups := 0
 	for i := range ds.Sessions {
 		s := &ds.Sessions[i]
@@ -118,7 +178,7 @@ func TestQoEMetricsSane(t *testing.T) {
 
 func TestFirstChunkRetxHigher(t *testing.T) {
 	// Fig. 15's shape must survive end-to-end.
-	ds := Run(workload.Scenario{Seed: 11, NumSessions: 1500, NumPrefixes: 300, Catalog: catalog.Config{NumVideos: 1500}})
+	ds := mustRun(t, workload.Scenario{Seed: 11, NumSessions: 1500, NumPrefixes: 300, Catalog: catalog.Config{NumVideos: 1500}})
 	var first, later stats.Summary
 	for i := range ds.Chunks {
 		c := &ds.Chunks[i]
@@ -134,7 +194,7 @@ func TestFirstChunkRetxHigher(t *testing.T) {
 }
 
 func TestCacheMissesCostMore(t *testing.T) {
-	ds := Run(smallScenario(13))
+	ds := mustRun(t, smallScenario(13))
 	var hit, miss stats.Summary
 	for i := range ds.Chunks {
 		c := &ds.Chunks[i]
@@ -153,7 +213,7 @@ func TestCacheMissesCostMore(t *testing.T) {
 }
 
 func TestProxyMixSupportsPreprocessing(t *testing.T) {
-	ds := Run(workload.Scenario{Seed: 17, NumSessions: 2000, NumPrefixes: 400, Catalog: catalog.Config{NumVideos: 1500}})
+	ds := mustRun(t, workload.Scenario{Seed: 17, NumSessions: 2000, NumPrefixes: 400, Catalog: catalog.Config{NumVideos: 1500}})
 	res := core.FilterProxies(ds, core.ProxyFilterConfig{})
 	// Paper: 77% of sessions survive preprocessing. Accept a band.
 	if res.KeptFraction < 0.6 || res.KeptFraction > 0.92 {

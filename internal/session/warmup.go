@@ -5,21 +5,32 @@ import (
 	"vidperf/internal/cdn"
 )
 
-// WarmFleet pre-populates every server's cache with the catalog content
-// that maps to it, in ascending popularity order (least popular first) so
-// LRU recency ends up matching popularity. This simulates a CDN that has
-// been serving the catalog for weeks — the regime the paper measures
-// (average miss rate ~2%) — without paying for millions of warmup
-// sessions.
+// WarmFleet pre-populates every built PoP's caches with the catalog
+// content that maps to them; see WarmPoP for the warming policy. On a
+// partial fleet (cdn.NewPoPFleet) it warms just that PoP, which is how
+// each shard of a sharded run warms only the servers it owns.
+func WarmFleet(fleet *cdn.Fleet, cat *catalog.Catalog) {
+	for _, pop := range fleet.BuiltPoPs() {
+		WarmPoP(fleet, cat, pop)
+	}
+}
+
+// WarmPoP pre-populates one PoP's caches with the catalog content that
+// maps to its servers, in ascending popularity order (least popular
+// first) so LRU recency ends up matching popularity. This simulates a CDN
+// that has been serving the catalog for weeks — the regime the paper
+// measures (average miss rate ~2%) — without paying for millions of
+// warmup sessions. Warming is deterministic in (catalog, fleet config,
+// popID): it draws no randomness, so a PoP warms identically whether it
+// is part of a full fleet or a single-PoP shard.
 //
 // Warming covers the ladder rungs sessions actually converge to (>= 750
 // kbps for all titles, every rung for the most popular quartile) plus the
 // conservative startup rung for each title's first chunks. Cold rungs on
 // cold titles are exactly the requests that miss — the paper's unpopular-
 // content findings need that residue.
-func WarmFleet(fleet *cdn.Fleet, cat *catalog.Catalog) {
-	cfg := fleet.Config()
-	if len(cat.Bitrates) == 0 {
+func WarmPoP(fleet *cdn.Fleet, cat *catalog.Catalog, pop int) {
+	if len(cat.Bitrates) == 0 || fleet.PoPServers(pop) == nil {
 		return
 	}
 	startRung := cat.Bitrates[0]
@@ -34,22 +45,20 @@ func WarmFleet(fleet *cdn.Fleet, cat *catalog.Catalog) {
 	// gradient.
 	coldTail := len(cat.Videos) * 95 / 100
 
-	for pop := 0; pop < cfg.NumPoPs; pop++ {
-		for rank := coldTail - 1; rank >= 0; rank-- {
-			v := &cat.Videos[rank]
-			targets := warmTargets(fleet, pop, v.ID, rank)
-			for ci := 0; ci < v.NumChunks; ci++ {
-				dur := cat.ChunkDurationSec(v, ci)
-				for _, br := range cat.Bitrates {
-					warmAll := rank < topQuartile
-					if br < 750 && !warmAll && !(ci < 3 && br == startRung) {
-						continue
-					}
-					key := catalog.ChunkKey(v.ID, ci, br)
-					size := catalog.ChunkSizeBytes(br, dur)
-					for _, srv := range targets {
-						srv.Cache().Insert(key, size)
-					}
+	for rank := coldTail - 1; rank >= 0; rank-- {
+		v := &cat.Videos[rank]
+		targets := warmTargets(fleet, pop, v.ID, rank)
+		for ci := 0; ci < v.NumChunks; ci++ {
+			dur := cat.ChunkDurationSec(v, ci)
+			for _, br := range cat.Bitrates {
+				warmAll := rank < topQuartile
+				if br < 750 && !warmAll && !(ci < 3 && br == startRung) {
+					continue
+				}
+				key := catalog.ChunkKey(v.ID, ci, br)
+				size := catalog.ChunkSizeBytes(br, dur)
+				for _, srv := range targets {
+					srv.Cache().Insert(key, size)
 				}
 			}
 		}

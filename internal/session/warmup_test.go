@@ -11,14 +11,13 @@ import (
 )
 
 func TestWarmFleetPopulatesCaches(t *testing.T) {
-	r := stats.NewRand(1)
-	fleet := cdn.NewFleet(cdn.FleetConfig{NumPoPs: 2, ServersPerPoP: 3}, r)
-	cat := catalog.New(catalog.Config{NumVideos: 200, DurationMedian: 60}, r.Split())
+	fleet := cdn.NewFleet(cdn.FleetConfig{NumPoPs: 2, ServersPerPoP: 3}, 1)
+	cat := catalog.New(catalog.Config{NumVideos: 200, DurationMedian: 60}, stats.NewRand(1))
 	WarmFleet(fleet, cat)
 
 	// Every server with mapped content must hold bytes.
 	warmed := 0
-	for _, srv := range fleet.Servers {
+	for _, srv := range fleet.Servers() {
 		if srv.Cache().Disk.Size() > 0 {
 			warmed++
 		}
@@ -46,9 +45,8 @@ func TestWarmFleetPopulatesCaches(t *testing.T) {
 }
 
 func TestWarmFleetTopQuartileGetsAllRungs(t *testing.T) {
-	r := stats.NewRand(2)
-	fleet := cdn.NewFleet(cdn.FleetConfig{NumPoPs: 1, ServersPerPoP: 2}, r)
-	cat := catalog.New(catalog.Config{NumVideos: 100, DurationMedian: 60}, r.Split())
+	fleet := cdn.NewFleet(cdn.FleetConfig{NumPoPs: 1, ServersPerPoP: 2}, 2)
+	cat := catalog.New(catalog.Config{NumVideos: 100, DurationMedian: 60}, stats.NewRand(2))
 	WarmFleet(fleet, cat)
 
 	v0 := &cat.Videos[0] // top quartile: all rungs warmed
@@ -74,11 +72,10 @@ func TestWarmFleetTopQuartileGetsAllRungs(t *testing.T) {
 }
 
 func TestWarmFleetPartitionedSpreadsPopular(t *testing.T) {
-	r := stats.NewRand(3)
 	fleet := cdn.NewFleet(cdn.FleetConfig{
 		NumPoPs: 1, ServersPerPoP: 4, PartitionTopRanks: 10,
-	}, r)
-	cat := catalog.New(catalog.Config{NumVideos: 100, DurationMedian: 60}, r.Split())
+	}, 3)
+	cat := catalog.New(catalog.Config{NumVideos: 100, DurationMedian: 60}, stats.NewRand(3))
 	WarmFleet(fleet, cat)
 
 	// Partitioned top titles must be resident on every server of the PoP.
@@ -95,10 +92,10 @@ func TestColdStartRaisesMissRate(t *testing.T) {
 		Seed: 5, NumSessions: 800, NumPrefixes: 200,
 		Catalog: catalog.Config{NumVideos: 800},
 	}
-	warm := Run(base)
+	warm := mustRun(t, base)
 	cold := base
 	cold.ColdStart = true
-	coldDS := Run(cold)
+	coldDS := mustRun(t, cold)
 
 	missRate := func(ds *core.Dataset) float64 {
 		miss := 0

@@ -7,6 +7,10 @@
 // Time is a float64 in milliseconds. Events scheduled for the same instant
 // fire in scheduling order (a monotonically increasing sequence number
 // breaks ties), which keeps runs reproducible.
+//
+// An Engine is strictly single-goroutine. Scaling comes from partitioning:
+// a campaign splits into disjoint event systems (one per PoP), each on its
+// own Engine wrapped in a Shard, executed concurrently by RunShards.
 package sim
 
 import "container/heap"

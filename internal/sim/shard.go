@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Shard is one independent event timeline of a partitioned simulation.
+// The session runner shards the campaign by PoP — sessions never cross
+// PoPs, so each PoP's servers, connections, and players form a closed
+// event system that can run on its own Engine without synchronization.
+//
+// A Shard's Engine is single-goroutine like any other Engine; parallelism
+// comes from running disjoint shards on separate goroutines (RunShards).
+type Shard struct {
+	ID     int // the partition key (the PoP ID for the session runner)
+	Engine Engine
+}
+
+// RunShards calls run(shard) for every shard, keeping at most parallelism
+// invocations in flight. parallelism <= 0 means GOMAXPROCS; 1 executes the
+// shards sequentially in slice order on the calling goroutine.
+//
+// run must confine itself to the shard's own state: shards may not share
+// mutable structures (engines, servers, datasets, RNG streams). Under that
+// contract the results are independent of parallelism, so a parallel run
+// is byte-identical to a sequential one after a deterministic merge.
+func RunShards(parallelism int, shards []*Shard, run func(*Shard)) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(shards) {
+		parallelism = len(shards)
+	}
+	if parallelism <= 1 {
+		for _, s := range shards {
+			run(s)
+		}
+		return
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			run(s)
+		}(s)
+	}
+	wg.Wait()
+}

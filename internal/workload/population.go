@@ -56,6 +56,13 @@ type Scenario struct {
 	// ColdStart skips cache pre-warming, simulating a freshly deployed
 	// CDN instead of the steady state the paper measures (ablation).
 	ColdStart bool
+
+	// Parallelism caps how many PoP shards the session runner executes
+	// concurrently: 0 uses GOMAXPROCS, 1 runs the shards sequentially.
+	// Sessions never cross PoPs and every shard's randomness derives from
+	// (Seed, PoP) alone, so the merged trace is byte-identical at every
+	// setting — Parallelism only changes wall-clock time.
+	Parallelism int
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -264,7 +271,8 @@ type SessionPlan struct {
 }
 
 // PlanSession draws session id's plan. Plans are deterministic in
-// (scenario seed, id).
+// (scenario seed, id). The prefix draw must stay the first use of r so
+// that SessionPoP predicts the same serving PoP without building a plan.
 func (p *Population) PlanSession(id uint64) SessionPlan {
 	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
 	pre := p.SamplePrefix(r)
@@ -300,6 +308,33 @@ func (p *Population) PlanSession(id uint64) SessionPlan {
 		}
 	}
 	return plan
+}
+
+// SessionPoP returns the PoP that will serve session id, replaying only
+// the prefix draw of PlanSession. It lets the runner partition sessions
+// across shards without paying for full plans twice.
+func (p *Population) SessionPoP(id uint64) int {
+	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
+	return p.SamplePrefix(r).PoP
+}
+
+// PartitionByPoP buckets session IDs 1..NumSessions by serving PoP,
+// clamping PoPs outside [0, numPoPs) into bucket 0 (the same fallback
+// Fleet.ServerFor applies). Within a bucket IDs stay ascending, so shard
+// event scheduling matches the order a single global engine would use.
+func (p *Population) PartitionByPoP(numPoPs int) [][]uint64 {
+	if numPoPs < 1 {
+		numPoPs = 1
+	}
+	parts := make([][]uint64, numPoPs)
+	for id := uint64(1); id <= uint64(p.Scenario.NumSessions); id++ {
+		pop := p.SessionPoP(id)
+		if pop < 0 || pop >= numPoPs {
+			pop = 0
+		}
+		parts[pop] = append(parts[pop], id)
+	}
+	return parts
 }
 
 // samplePlatform draws the OS/browser/hardware mix of §3.

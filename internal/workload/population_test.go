@@ -194,3 +194,44 @@ func TestConnTypeLabel(t *testing.T) {
 		t.Errorf("residential label = %q", got)
 	}
 }
+
+func TestSessionPoPMatchesPlan(t *testing.T) {
+	p := testPop()
+	for id := uint64(1); id <= 500; id++ {
+		if got, want := p.SessionPoP(id), p.PlanSession(id).Prefix.PoP; got != want {
+			t.Fatalf("session %d: SessionPoP %d != plan PoP %d", id, got, want)
+		}
+	}
+}
+
+func TestPartitionByPoPCoversAllSessions(t *testing.T) {
+	p := testPop()
+	parts := p.PartitionByPoP(6)
+	if len(parts) != 6 {
+		t.Fatalf("got %d buckets", len(parts))
+	}
+	seen := map[uint64]int{}
+	for pop, ids := range parts {
+		last := uint64(0)
+		for _, id := range ids {
+			if id <= last {
+				t.Fatalf("pop %d: IDs not strictly ascending at %d", pop, id)
+			}
+			last = id
+			seen[id]++
+			if got := p.SessionPoP(id); got != pop {
+				t.Fatalf("session %d in bucket %d but SessionPoP = %d", id, pop, got)
+			}
+		}
+	}
+	for id := uint64(1); id <= uint64(p.Scenario.NumSessions); id++ {
+		if seen[id] != 1 {
+			t.Fatalf("session %d appears %d times", id, seen[id])
+		}
+	}
+	// Clamping: with a single bucket, everything lands in PoP 0.
+	one := p.PartitionByPoP(1)
+	if len(one) != 1 || len(one[0]) != p.Scenario.NumSessions {
+		t.Fatalf("clamped partition sizes wrong: %d buckets", len(one))
+	}
+}
