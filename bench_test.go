@@ -15,6 +15,7 @@ package vidperf
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"vidperf/internal/session"
 	"vidperf/internal/stats"
 	"vidperf/internal/tcpmodel"
+	"vidperf/internal/telemetry"
 	"vidperf/internal/workload"
 )
 
@@ -175,6 +177,53 @@ func BenchmarkRunParallel(b *testing.B) {
 			b.ReportMetric(float64(chunks), "chunks")
 		})
 	}
+}
+
+// BenchmarkStreamingRun contrasts the two record paths on the shared
+// 6000-session campaign. collect materializes every ChunkRecord and
+// SessionRecord and merges them into a Dataset; stream folds each
+// finished session into the telemetry sketches and retains only the
+// snapshot. Run with -benchmem: B/op drops with streaming (no dataset
+// copy/sort/merge), and the live-heap-MB metric — the heap still
+// reachable after the run, i.e. what a bigger campaign would scale — is
+// the dataset size in collect mode versus the O(sketch) snapshot in
+// stream mode, independent of session count.
+//
+//	go test -run='^$' -bench=BenchmarkStreamingRun -benchtime=1x -benchmem
+func BenchmarkStreamingRun(b *testing.B) {
+	measure := func(b *testing.B, run func() (any, uint64)) {
+		b.ReportAllocs()
+		var retained any
+		var chunks uint64
+		for i := 0; i < b.N; i++ {
+			retained, chunks = run()
+		}
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "live-heap-MB")
+		b.ReportMetric(float64(chunks), "chunks")
+		runtime.KeepAlive(retained)
+	}
+	b.Run("collect", func(b *testing.B) {
+		measure(b, func() (any, uint64) {
+			ds, err := session.Run(benchScenario(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ds, uint64(len(ds.Chunks))
+		})
+	})
+	b.Run("stream", func(b *testing.B) {
+		measure(b, func() (any, uint64) {
+			camp := telemetry.NewCampaign(0)
+			if err := session.RunWithSinks(benchScenario(0), camp.Sink); err != nil {
+				b.Fatal(err)
+			}
+			sn := camp.Snapshot()
+			return sn, sn.Counter(telemetry.CounterChunks)
+		})
+	})
 }
 
 // --- Ablations (DESIGN.md A1–A6) -----------------------------------------

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	analyze -trace trace.jsonl [-only fig05,table4] [-max-rank 6000]
+//	analyze -snapshot snap.json [-only stream-cdn]
+//
+// With -snapshot the input is a telemetry snapshot from
+// cmd/vodsim -stream: the sketch-backed subset of the figures is rendered
+// from the bounded-memory aggregates instead of per-record data. Proxy
+// preprocessing does not apply to snapshots (it needs the joined
+// dataset), so -filter-proxies is ignored in that mode.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"vidperf/internal/core"
 	"vidperf/internal/figures"
+	"vidperf/internal/telemetry"
 )
 
 func main() {
@@ -23,29 +31,22 @@ func main() {
 	log.SetPrefix("analyze: ")
 
 	var (
-		trace   = flag.String("trace", "trace.jsonl", "input JSONL trace (from vodsim)")
-		only    = flag.String("only", "", "comma-separated figure IDs to render (default all)")
-		maxRank = flag.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
-		filter  = flag.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis")
+		trace    = flag.String("trace", "trace.jsonl", "input JSONL trace (from vodsim)")
+		snapshot = flag.String("snapshot", "", "input telemetry snapshot (from vodsim -stream); replaces -trace")
+		only     = flag.String("only", "", "comma-separated figure IDs to render (default all)")
+		maxRank  = flag.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
+		filter   = flag.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis (trace mode only)")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*trace)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ds, err := core.ReadJSONL(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("loaded %s", ds)
-
-	if *filter {
-		res := core.FilterProxies(ds, core.ProxyFilterConfig{})
-		log.Printf("proxy filtering kept %d/%d sessions (%.1f%%)",
-			res.KeptSessions, res.TotalSessions, 100*res.KeptFraction)
-		ds = res.Kept
+	traceSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trace" {
+			traceSet = true
+		}
+	})
+	if *snapshot != "" && traceSet {
+		log.Fatal("invalid flags: -trace and -snapshot are mutually exclusive")
 	}
 
 	want := map[string]bool{}
@@ -55,8 +56,44 @@ func main() {
 		}
 	}
 
+	var results []figures.Result
+	if *snapshot != "" {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sn, err := telemetry.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded snapshot: %d sessions, %d chunks, %d sketches (k=%d)",
+			sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
+			len(sn.Sketches), sn.SketchK)
+		results = figures.AllStreaming(sn)
+	} else {
+		f, err := os.Open(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := core.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %s", ds)
+
+		if *filter {
+			res := core.FilterProxies(ds, core.ProxyFilterConfig{})
+			log.Printf("proxy filtering kept %d/%d sessions (%.1f%%)",
+				res.KeptSessions, res.TotalSessions, 100*res.KeptFraction)
+			ds = res.Kept
+		}
+		results = figures.All(ds, *maxRank)
+	}
+
 	pass, fail := 0, 0
-	for _, res := range figures.All(ds, *maxRank) {
+	for _, res := range results {
 		if len(want) > 0 && !want[res.ID] {
 			continue
 		}

@@ -11,6 +11,15 @@
 //
 // The simulation is sharded by PoP and executed on up to -parallel engines
 // at once; the written trace is byte-identical at every -parallel value.
+//
+// With -stream the campaign runs through the internal/telemetry subsystem
+// instead: finished sessions fold into mergeable sketches, histograms and
+// counters as each shard produces them, no record is ever materialized,
+// and -out receives a JSON telemetry snapshot (input to
+// cmd/analyze -snapshot) rather than a JSONL trace. Peak memory is
+// O(sketch), independent of the record volume, so -stream is the mode for
+// 10M+-session campaigns. -stream cannot be combined with the CSV exports
+// or -filter-proxies, which need the full joined dataset.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"vidperf/internal/catalog"
 	"vidperf/internal/core"
 	"vidperf/internal/session"
+	"vidperf/internal/telemetry"
 	"vidperf/internal/workload"
 )
 
@@ -38,11 +48,18 @@ func main() {
 		cold        = flag.Bool("cold", false, "skip CDN cache pre-warming (cold-start ablation)")
 		parallel    = flag.Int("parallel", 0, "max PoP shards simulated concurrently (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 		filterProxy = flag.Bool("filter-proxies", false, "apply the §3 proxy preprocessing before writing")
-		out         = flag.String("out", "trace.jsonl", "output JSONL trace path")
+		stream      = flag.Bool("stream", false, "streaming telemetry mode: aggregate into bounded-memory sketches and write a snapshot instead of a trace")
+		sketchK     = flag.Int("sketch-k", telemetry.DefaultSketchK, "quantile-sketch compaction parameter in -stream mode (error bound ≈ 4/k)")
+		out         = flag.String("out", "trace.jsonl", "output path (JSONL trace, or JSON snapshot with -stream)")
 		chunksCSV   = flag.String("chunks-csv", "", "optional CSV export of the chunk table")
 		sessCSV     = flag.String("sessions-csv", "", "optional CSV export of the session table")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*sessions, *prefixes, *videos, *parallel, *sketchK,
+		*stream, *filterProxy, *chunksCSV, *sessCSV, flag.Args()); err != nil {
+		log.Fatalf("invalid flags: %v", err)
+	}
 
 	sc := workload.Scenario{
 		Seed:        *seed,
@@ -53,8 +70,14 @@ func main() {
 		ColdStart:   *cold,
 		Parallelism: *parallel,
 	}
-	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v, parallel=%d)",
-		*sessions, *seed, *abrName, *cold, *parallel)
+	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v, parallel=%d, stream=%v)",
+		*sessions, *seed, *abrName, *cold, *parallel, *stream)
+
+	if *stream {
+		runStreaming(sc, *sketchK, *out)
+		return
+	}
+
 	ds, err := session.Run(sc)
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +112,58 @@ func main() {
 		}
 		log.Printf("wrote %s", *sessCSV)
 	}
+}
+
+// validateFlags rejects flag combinations that would otherwise silently
+// misbehave, before any simulation work starts.
+func validateFlags(sessions, prefixes, videos, parallel, sketchK int,
+	stream, filterProxy bool, chunksCSV, sessCSV string, extra []string) error {
+	if len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments %q (all options are flags)", extra)
+	}
+	if sessions < 1 {
+		return fmt.Errorf("-sessions must be >= 1 (got %d)", sessions)
+	}
+	if prefixes < 1 {
+		return fmt.Errorf("-prefixes must be >= 1 (got %d)", prefixes)
+	}
+	if videos < 1 {
+		return fmt.Errorf("-videos must be >= 1 (got %d)", videos)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (got %d); 0 means GOMAXPROCS", parallel)
+	}
+	if stream {
+		if sketchK < 8 {
+			return fmt.Errorf("-sketch-k must be >= 8 (got %d)", sketchK)
+		}
+		if chunksCSV != "" || sessCSV != "" {
+			return fmt.Errorf("-stream keeps no per-record tables; drop -chunks-csv/-sessions-csv or run without -stream")
+		}
+		if filterProxy {
+			return fmt.Errorf("-filter-proxies needs the full joined dataset; it is unavailable with -stream")
+		}
+	}
+	return nil
+}
+
+// runStreaming executes the campaign through per-shard telemetry
+// accumulators and writes the merged snapshot.
+func runStreaming(sc workload.Scenario, sketchK int, out string) {
+	camp := telemetry.NewCampaign(sketchK)
+	if err := session.RunWithSinks(sc, camp.Sink); err != nil {
+		log.Fatal(err)
+	}
+	sn := camp.Snapshot()
+	log.Printf("streamed %d sessions / %d chunks into %d sketches (k=%d)",
+		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
+		len(sn.Sketches), sn.SketchK)
+	if err := writeFile(out, func(f *os.File) error {
+		return telemetry.WriteSnapshot(f, sn)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
 }
 
 func writeTrace(path string, ds *core.Dataset) error {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(sessions, prefixes, videos, parallel, sketchK int,
+		stream, filterProxy bool, chunksCSV, sessCSV string, extra []string) error {
+		return validateFlags(sessions, prefixes, videos, parallel, sketchK,
+			stream, filterProxy, chunksCSV, sessCSV, extra)
+	}
+	if err := ok(100, 50, 50, 0, 256, false, false, "", "", nil); err != nil {
+		t.Fatalf("valid batch flags rejected: %v", err)
+	}
+	if err := ok(100, 50, 50, 4, 256, true, false, "", "", nil); err != nil {
+		t.Fatalf("valid stream flags rejected: %v", err)
+	}
+	// -sketch-k only matters in stream mode; batch runs ignore it.
+	if err := ok(100, 50, 50, 0, 2, false, false, "", "", nil); err != nil {
+		t.Fatalf("batch run rejected over unused -sketch-k: %v", err)
+	}
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"negative parallel", ok(100, 50, 50, -1, 256, false, false, "", "", nil), "-parallel"},
+		{"zero sessions", ok(0, 50, 50, 0, 256, false, false, "", "", nil), "-sessions"},
+		{"negative prefixes", ok(100, -3, 50, 0, 256, false, false, "", "", nil), "-prefixes"},
+		{"zero videos", ok(100, 50, 0, 0, 256, false, false, "", "", nil), "-videos"},
+		{"tiny sketch-k", ok(100, 50, 50, 0, 2, true, false, "", "", nil), "-sketch-k"},
+		{"stream+chunks-csv", ok(100, 50, 50, 0, 256, true, false, "c.csv", "", nil), "-chunks-csv"},
+		{"stream+sessions-csv", ok(100, 50, 50, 0, 256, true, false, "", "s.csv", nil), "-stream"},
+		{"stream+filter-proxies", ok(100, 50, 50, 0, 256, true, true, "", "", nil), "-filter-proxies"},
+		{"positional args", ok(100, 50, 50, 0, 256, false, false, "", "", []string{"trace.jsonl"}), "unexpected"},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(c.err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, c.err, c.want)
+		}
+	}
+}

@@ -440,3 +440,95 @@ func TestCollectorConcurrentAdd(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionsCSVNeverStarted checks the NaN handling of the session CSV
+// sink: never-started sessions must serialize startup_ms as an empty
+// field (parity with the JSONL null), and the reader must round-trip the
+// table byte-for-byte.
+func TestSessionsCSVNeverStarted(t *testing.T) {
+	sessions := []SessionRecord{sampleSession(1), sampleSession(2)}
+	sessions[1].StartupMS = math.NaN()
+
+	var buf bytes.Buffer
+	if err := WriteSessionsCSV(&buf, sessions); err != nil {
+		t.Fatalf("WriteSessionsCSV: %v", err)
+	}
+	if s := buf.String(); strings.Contains(s, "NaN") {
+		t.Fatal("CSV export contains the literal string NaN")
+	}
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	startupCol := -1
+	for i, col := range rows[0] {
+		if col == "startup_ms" {
+			startupCol = i
+		}
+	}
+	if startupCol < 0 {
+		t.Fatal("no startup_ms column")
+	}
+	if rows[1][startupCol] != "900" {
+		t.Errorf("started session startup_ms = %q", rows[1][startupCol])
+	}
+	if rows[2][startupCol] != "" {
+		t.Errorf("never-started session startup_ms = %q, want empty", rows[2][startupCol])
+	}
+
+	back, err := ReadSessionsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSessionsCSV: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d sessions, want 2", len(back))
+	}
+	if back[0].StartupMS != 900 || !math.IsNaN(back[1].StartupMS) {
+		t.Errorf("startup round-trip: %v, %v", back[0].StartupMS, back[1].StartupMS)
+	}
+	if back[0].SessionID != 1 || back[0].OrgName != "ResidentialISP#1" ||
+		back[0].PoP != 1 || !back[0].HadLoss || back[0].CPUCores != 4 {
+		t.Errorf("fields lost in round-trip: %+v", back[0])
+	}
+
+	var again bytes.Buffer
+	if err := WriteSessionsCSV(&again, back); err != nil {
+		t.Fatalf("re-write: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("write → read → write is not byte-identical")
+	}
+}
+
+// TestReadSessionsCSVRejectsBadInput covers the reader's error paths.
+func TestReadSessionsCSVRejectsBadInput(t *testing.T) {
+	if _, err := ReadSessionsCSV(strings.NewReader("not,the,header\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteSessionsCSV(&buf, []SessionRecord{sampleSession(1)}); err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(buf.String(), "900", "not-a-number", 1)
+	if _, err := ReadSessionsCSV(strings.NewReader(mangled)); err == nil {
+		t.Error("bad numeric field accepted")
+	}
+}
+
+// TestTeeSinkFansOut checks that TeeSink delivers every session to every
+// sink in order.
+func TestTeeSinkFansOut(t *testing.T) {
+	a, b := &Dataset{}, &Dataset{}
+	tee := TeeSink(a, b)
+	s := sampleSession(5)
+	chunks := []ChunkRecord{sampleChunk(), sampleChunk()}
+	tee.ConsumeSession(s, chunks)
+	for _, d := range []*Dataset{a, b} {
+		if len(d.Sessions) != 1 || len(d.Chunks) != 2 {
+			t.Fatalf("sink got %d sessions / %d chunks", len(d.Sessions), len(d.Chunks))
+		}
+		if d.Sessions[0].SessionID != 5 {
+			t.Fatalf("wrong session: %+v", d.Sessions[0])
+		}
+	}
+}

@@ -189,6 +189,34 @@ type SessionRecord struct {
 	ProxySuspected bool
 }
 
+// RecordSink consumes finished sessions as a runner produces them. It is
+// the seam between simulation and aggregation: a Dataset sink materializes
+// every record for the exact batch analyses, while a streaming sink (e.g.
+// internal/telemetry's Accumulator) folds each session into bounded-memory
+// aggregates and discards it.
+//
+// ConsumeSession receives the session record and its chunks in ChunkID
+// order. The chunks slice is handed over by the caller and must not be
+// mutated by the sink; sinks that outlive the call must copy what they
+// keep. Implementations need not be safe for concurrent use — the sharded
+// runner gives every shard its own sink.
+type RecordSink interface {
+	ConsumeSession(s SessionRecord, chunks []ChunkRecord)
+}
+
+// TeeSink fans one record stream out to several sinks in order, letting a
+// run feed an exact Dataset and a streaming aggregate simultaneously
+// (which is how the parity tests compare the two paths on identical data).
+func TeeSink(sinks ...RecordSink) RecordSink { return teeSink(sinks) }
+
+type teeSink []RecordSink
+
+func (t teeSink) ConsumeSession(s SessionRecord, chunks []ChunkRecord) {
+	for _, sink := range t {
+		sink.ConsumeSession(s, chunks)
+	}
+}
+
 // Dataset is a joined trace: one SessionRecord per session and its
 // ChunkRecords in (SessionID, ChunkID) order.
 type Dataset struct {
@@ -196,6 +224,13 @@ type Dataset struct {
 	Chunks   []ChunkRecord
 
 	byID map[uint64]int // session index
+}
+
+// ConsumeSession implements RecordSink by appending the records; the
+// canonical order is restored by Merge/SortCanonical afterwards.
+func (d *Dataset) ConsumeSession(s SessionRecord, chunks []ChunkRecord) {
+	d.Sessions = append(d.Sessions, s)
+	d.Chunks = append(d.Chunks, chunks...)
 }
 
 // Index builds the session lookup table; call after mutating Sessions.

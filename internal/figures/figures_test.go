@@ -8,6 +8,7 @@ import (
 	"vidperf/internal/catalog"
 	"vidperf/internal/core"
 	"vidperf/internal/session"
+	"vidperf/internal/telemetry"
 	"vidperf/internal/workload"
 )
 
@@ -92,5 +93,52 @@ func TestScriptedFiguresDeterministic(t *testing.T) {
 	e, f := Fig20(), Fig20()
 	if e.Measured != f.Measured {
 		t.Error("Fig20 not deterministic")
+	}
+}
+
+// figSnapshot replays the shared dataset through a telemetry Campaign so
+// the streaming figures render from the same records the exact ones use.
+func figSnapshot() *telemetry.Snapshot {
+	ds := figDataset()
+	camp := telemetry.NewCampaign(0)
+	byS := ds.ChunksBySession()
+	for i := range ds.Sessions {
+		s := ds.Sessions[i]
+		chunks := make([]core.ChunkRecord, 0, s.NumChunks)
+		for _, ci := range byS[s.SessionID] {
+			chunks = append(chunks, ds.Chunks[ci])
+		}
+		camp.Sink(s.PoP).ConsumeSession(s, chunks)
+	}
+	return camp.Snapshot()
+}
+
+// TestStreamingFiguresPass checks the sketch-backed figures the same way
+// TestAllFiguresPass checks the exact ones.
+func TestStreamingFiguresPass(t *testing.T) {
+	results := AllStreaming(figSnapshot())
+	if len(results) != 3 {
+		t.Fatalf("got %d streaming results, want 3", len(results))
+	}
+	seen := map[string]bool{}
+	for _, res := range results {
+		if seen[res.ID] {
+			t.Errorf("duplicate figure id %s", res.ID)
+		}
+		seen[res.ID] = true
+		if res.Title == "" || res.Paper == "" || res.Measured == "" {
+			t.Errorf("%s: incomplete metadata: %+v", res.ID, res)
+		}
+		if len(res.Lines) == 0 {
+			t.Errorf("%s: no rendered series", res.ID)
+		}
+		if !res.Pass {
+			t.Errorf("%s: shape check failed — measured %q", res.ID, res.Measured)
+		}
+	}
+	for _, want := range []string{"stream-cdn", "stream-mix", "stream-qoe"} {
+		if !seen[want] {
+			t.Errorf("missing streaming figure %s", want)
+		}
 	}
 }

@@ -65,35 +65,68 @@ func Run(sc workload.Scenario) (*core.Dataset, error) {
 	return RunOnPopulation(workload.Build(sc))
 }
 
+// SinkFactory builds the core.RecordSink for one PoP shard. The runner
+// calls it once per non-empty shard, during the sequential plan phase in
+// ascending PoP order, so factories need no locking of their own. The
+// returned sink receives the shard's finished sessions from that shard's
+// goroutine only.
+type SinkFactory func(popID int) core.RecordSink
+
+// RunWithSinks executes the scenario in streaming mode: finished sessions
+// flow into per-shard sinks from factory instead of a materialized
+// Dataset. With an O(1)-memory sink (internal/telemetry's Accumulator)
+// this is the path that characterizes campaigns far larger than RAM.
+func RunWithSinks(sc workload.Scenario, factory SinkFactory) error {
+	if _, err := NewABR(sc.ABRName); err != nil {
+		return err
+	}
+	return RunOnPopulationWithSinks(workload.Build(sc), factory)
+}
+
 // RunOnPopulation executes sessions against an already-built population
 // (so benches can reuse one population across variants). It proceeds in
 // three phases: plan (partition sessions by PoP), execute (one engine per
 // shard, Scenario.Parallelism shards at a time), merge (canonical order).
 func RunOnPopulation(pop *workload.Population) (*core.Dataset, error) {
-	shards, err := planShards(pop)
+	var col core.Collector
+	err := RunOnPopulationWithSinks(pop, func(int) core.RecordSink {
+		ds := &core.Dataset{}
+		col.Add(ds)
+		return ds
+	})
 	if err != nil {
 		return nil, err
 	}
-	var col core.Collector
-	executeShards(pop.Scenario.Parallelism, shards, &col)
 	return col.Merge(), nil
 }
 
+// RunOnPopulationWithSinks is RunWithSinks against an already-built
+// population.
+func RunOnPopulationWithSinks(pop *workload.Population, factory SinkFactory) error {
+	shards, err := planShards(pop, factory)
+	if err != nil {
+		return err
+	}
+	executeShards(pop.Scenario.Parallelism, shards)
+	return nil
+}
+
 // popShard is one PoP's slice of the campaign: the sessions it serves,
-// its private fleet partition, engine, and dataset sink. Shards share
+// its private fleet partition, engine, and record sink. Shards share
 // only the immutable population.
 type popShard struct {
 	pop   *workload.Population
 	ids   []uint64
 	algo  abr.Algorithm
 	shard sim.Shard
-	ds    *core.Dataset
+	sink  core.RecordSink
 }
 
 // planShards partitions the campaign by PoP and validates the scenario.
 // It is the phase where configuration errors surface, before any of the
-// expensive per-shard work starts.
-func planShards(pop *workload.Population) ([]*popShard, error) {
+// expensive per-shard work starts. Sink factories run here, sequentially
+// in ascending PoP order.
+func planShards(pop *workload.Population, factory SinkFactory) ([]*popShard, error) {
 	sc := pop.Scenario
 	cfg := sc.Fleet.WithDefaults()
 	parts := pop.PartitionByPoP(cfg.NumPoPs)
@@ -111,15 +144,15 @@ func planShards(pop *workload.Population) ([]*popShard, error) {
 			ids:   ids,
 			algo:  algo,
 			shard: sim.Shard{ID: popID},
-			ds:    &core.Dataset{},
+			sink:  factory(popID),
 		})
 	}
 	return shards, nil
 }
 
 // executeShards runs every shard's event loop, at most parallelism at a
-// time, and collects the finished per-shard datasets.
-func executeShards(parallelism int, shards []*popShard, col *core.Collector) {
+// time.
+func executeShards(parallelism int, shards []*popShard) {
 	byPoP := make(map[int]*popShard, len(shards))
 	simShards := make([]*sim.Shard, 0, len(shards))
 	for _, sh := range shards {
@@ -127,15 +160,17 @@ func executeShards(parallelism int, shards []*popShard, col *core.Collector) {
 		simShards = append(simShards, &sh.shard)
 	}
 	sim.RunShards(parallelism, simShards, func(s *sim.Shard) {
-		sh := byPoP[s.ID]
-		sh.run()
-		col.Add(sh.ds)
+		byPoP[s.ID].run()
 	})
 }
 
 // run builds the shard's fleet partition, warms it, schedules the shard's
 // session arrivals, and drains the event loop. Everything it touches is
-// shard-private except the read-only population.
+// shard-private except the read-only population. Session state (TCP
+// connection, player, ABR estimator) is created at arrival time and
+// becomes garbage once the session's records are handed to the sink, so a
+// streaming sink keeps the shard's live heap proportional to concurrently
+// playing sessions rather than to the whole campaign.
 func (sh *popShard) run() {
 	sc := sh.pop.Scenario
 	popID := sh.shard.ID
@@ -145,9 +180,10 @@ func (sh *popShard) run() {
 	}
 	eng := &sh.shard.Engine
 	for _, id := range sh.ids {
-		plan := sh.pop.PlanSession(id)
-		s := newSessionState(sh.pop, plan, sh.algo, fleet, eng, sh.ds)
-		eng.At(plan.ArrivalMS, func(float64) { s.requestNextChunk() })
+		eng.At(sh.pop.SessionArrival(id), func(float64) {
+			plan := sh.pop.PlanSession(id)
+			newSessionState(sh.pop, plan, sh.algo, fleet, eng, sh.sink).requestNextChunk()
+		})
 	}
 	eng.Run()
 }

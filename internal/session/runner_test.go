@@ -315,3 +315,48 @@ func tcpParams() tcpmodel.Params {
 		BufferBytes: 4 << 20,
 	}
 }
+
+// TestRunWithSinksMatchesRun pins the sink seam: streaming the campaign
+// into per-shard Dataset sinks and merging must reproduce the collect
+// path exactly.
+func TestRunWithSinksMatchesRun(t *testing.T) {
+	want := mustRun(t, smallScenario(29))
+
+	var col core.Collector
+	err := RunWithSinks(smallScenario(29), func(popID int) core.RecordSink {
+		ds := &core.Dataset{}
+		col.Add(ds)
+		return ds
+	})
+	if err != nil {
+		t.Fatalf("RunWithSinks: %v", err)
+	}
+	got := col.Merge()
+	if len(got.Sessions) != len(want.Sessions) || len(got.Chunks) != len(want.Chunks) {
+		t.Fatalf("sizes differ: %s vs %s", got, want)
+	}
+	for i := range want.Chunks {
+		if got.Chunks[i] != want.Chunks[i] {
+			t.Fatalf("chunk %d differs between sink and collect paths", i)
+		}
+	}
+	for i := range want.Sessions {
+		a, b := got.Sessions[i], want.Sessions[i]
+		// NaN != NaN, so compare startup separately.
+		sa, sb := a.StartupMS, b.StartupMS
+		a.StartupMS, b.StartupMS = 0, 0
+		if a != b || (math.IsNaN(sa) != math.IsNaN(sb)) || (!math.IsNaN(sa) && sa != sb) {
+			t.Fatalf("session %d differs between sink and collect paths", i)
+		}
+	}
+}
+
+// TestRunWithSinksRejectsUnknownABR mirrors Run's fail-fast validation.
+func TestRunWithSinksRejectsUnknownABR(t *testing.T) {
+	sc := smallScenario(1)
+	sc.ABRName = "definitely-not-an-abr"
+	err := RunWithSinks(sc, func(int) core.RecordSink { return &core.Dataset{} })
+	if err == nil {
+		t.Fatal("RunWithSinks accepted an unknown ABR name")
+	}
+}

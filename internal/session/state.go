@@ -25,7 +25,7 @@ type sessionState struct {
 	algo  abr.Algorithm
 	fleet *cdn.Fleet
 	eng   *sim.Engine
-	ds    *core.Dataset
+	sink  core.RecordSink
 
 	r      *stats.Rand
 	conn   *tcpmodel.Conn
@@ -44,7 +44,7 @@ type sessionState struct {
 }
 
 func newSessionState(pop *workload.Population, plan workload.SessionPlan,
-	algo abr.Algorithm, fleet *cdn.Fleet, eng *sim.Engine, ds *core.Dataset) *sessionState {
+	algo abr.Algorithm, fleet *cdn.Fleet, eng *sim.Engine, sink core.RecordSink) *sessionState {
 
 	r := stats.NewRand(pop.Scenario.Seed ^ (plan.ID * 0xdeadbeefcafef00d))
 	return &sessionState{
@@ -53,7 +53,7 @@ func newSessionState(pop *workload.Population, plan workload.SessionPlan,
 		algo:  algo,
 		fleet: fleet,
 		eng:   eng,
-		ds:    ds,
+		sink:  sink,
 		r:     r,
 		conn:  tcpmodel.New(plan.PathParams, r.Split()),
 		cong:  plan.Prefix.Profile.NewCongestion(r),
@@ -276,8 +276,7 @@ func (s *sessionState) finish() {
 	if !s.play.Started() {
 		rec.StartupMS = math.NaN()
 	}
-	s.ds.Sessions = append(s.ds.Sessions, rec)
-	s.ds.Chunks = append(s.ds.Chunks, s.records...)
+	s.sink.ConsumeSession(rec, s.records)
 }
 
 func (s *sessionState) serverID() int {

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"vidperf/internal/core"
+)
+
+// Metric names of the quantile sketches an Accumulator maintains — one
+// per distribution the §4–§5 analyses consume.
+const (
+	MetricStartupMS    = "startup_ms"     // per-session startup delay (started sessions only)
+	MetricRebufferRate = "rebuffer_rate"  // per-session fraction of time stalled
+	MetricDFBMS        = "dfb_ms"         // per-chunk first-byte delay
+	MetricDLBMS        = "dlb_ms"         // per-chunk last-byte delay
+	MetricSRTTMS       = "srtt_ms"        // per-chunk kernel SRTT snapshot
+	MetricServerMS     = "server_ms"      // per-chunk D_CDN + D_BE
+	MetricServerHitMS  = "server_hit_ms"  // server latency, cache hits
+	MetricServerMissMS = "server_miss_ms" // server latency, cache misses
+	MetricDwaitMS      = "dwait_ms"       // Fig. 5 breakdown components
+	MetricDopenMS      = "dopen_ms"
+	MetricDreadMS      = "dread_ms"
+)
+
+// metricNames lists every sketch in canonical order; merges iterate this
+// slice (never a map) so the combined state is reproducible.
+var metricNames = []string{
+	MetricStartupMS, MetricRebufferRate, MetricDFBMS, MetricDLBMS,
+	MetricSRTTMS, MetricServerMS, MetricServerHitMS, MetricServerMissMS,
+	MetricDwaitMS, MetricDopenMS, MetricDreadMS,
+}
+
+// Counter names (see CounterSet for the dimensioned-key convention; the
+// dimensions in use are pop, cache, bitrate, and org).
+const (
+	CounterSessions           = "sessions"
+	CounterSessionsNeverStart = "sessions_never_started"
+	CounterChunks             = "chunks"
+	CounterChunksHit          = "chunks_hit"
+	CounterChunksRetryTimer   = "chunks_retry_timer"
+	counterSessionsBase       = "sessions" // + _pop= / _org=
+	counterChunksBase         = "chunks"   // + _pop= / _cache= / _bitrate=
+	counterChunksHitBase      = "chunks_hit"
+)
+
+// histogram shapes, shared by every accumulator so snapshots merge.
+const (
+	startupHistMaxMS = 20000
+	startupHistBins  = 200
+	rebufHistBins    = 100
+)
+
+// Accumulator folds finished sessions into the campaign's bounded-memory
+// aggregates. It implements core.RecordSink; the sharded runner gives
+// each PoP shard its own Accumulator, so no locking is needed on the
+// record path.
+type Accumulator struct {
+	k        int
+	sketches map[string]*QuantileSketch
+	hists    map[string]*Histogram
+	counters *CounterSet
+}
+
+// NewAccumulator returns an empty accumulator. Dimension counters key on
+// each record's own PoP/org/cache fields, so one accumulator serves one
+// shard or a whole merged campaign alike. k is the quantile-sketch
+// compaction parameter (<= 0 selects DefaultSketchK).
+func NewAccumulator(k int) *Accumulator {
+	a := &Accumulator{
+		k:        k,
+		sketches: make(map[string]*QuantileSketch, len(metricNames)),
+		hists: map[string]*Histogram{
+			MetricStartupMS:    NewHistogram(0, startupHistMaxMS, startupHistBins),
+			MetricRebufferRate: NewHistogram(0, 1, rebufHistBins),
+		},
+		counters: NewCounterSet(),
+	}
+	for _, m := range metricNames {
+		a.sketches[m] = NewSketch(k)
+	}
+	return a
+}
+
+// ConsumeSession implements core.RecordSink: it folds one finished
+// session and its chunks into the aggregates and retains nothing.
+func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRecord) {
+	a.counters.Inc(CounterSessions)
+	a.counters.Inc(IntDimKey(counterSessionsBase, "pop", s.PoP))
+	a.counters.Inc(DimKey(counterSessionsBase, "org", s.OrgType))
+	// StartupMS is NaN for sessions that never started playback; those go
+	// to a dedicated counter instead of the startup distribution.
+	if math.IsNaN(s.StartupMS) {
+		a.counters.Inc(CounterSessionsNeverStart)
+	} else {
+		a.sketches[MetricStartupMS].Add(s.StartupMS)
+		a.hists[MetricStartupMS].Add(s.StartupMS)
+	}
+	a.sketches[MetricRebufferRate].Add(s.RebufferRate)
+	a.hists[MetricRebufferRate].Add(s.RebufferRate)
+
+	for i := range chunks {
+		c := &chunks[i]
+		a.counters.Inc(CounterChunks)
+		a.counters.Inc(IntDimKey(counterChunksBase, "pop", s.PoP))
+		a.counters.Inc(DimKey(counterChunksBase, "cache", c.CacheLevel))
+		a.counters.Inc(IntDimKey(counterChunksBase, "bitrate", c.BitrateKbps))
+		server := c.ServerLatencyMS()
+		if c.CacheHit {
+			a.counters.Inc(CounterChunksHit)
+			a.counters.Inc(IntDimKey(counterChunksHitBase, "pop", s.PoP))
+			a.sketches[MetricServerHitMS].Add(server)
+		} else {
+			a.sketches[MetricServerMissMS].Add(server)
+		}
+		if c.RetryTimer {
+			a.counters.Inc(CounterChunksRetryTimer)
+		}
+		a.sketches[MetricDFBMS].Add(c.DFBms)
+		a.sketches[MetricDLBMS].Add(c.DLBms)
+		a.sketches[MetricSRTTMS].Add(c.SRTTms)
+		a.sketches[MetricServerMS].Add(server)
+		a.sketches[MetricDwaitMS].Add(c.DwaitMS)
+		a.sketches[MetricDopenMS].Add(c.DopenMS)
+		a.sketches[MetricDreadMS].Add(c.DreadMS)
+	}
+}
+
+// Merge folds o into a, iterating the canonical metric list so the result
+// depends only on operand order.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if o == nil {
+		return
+	}
+	for _, m := range metricNames {
+		a.sketches[m].Merge(o.sketches[m])
+	}
+	for name, h := range a.hists {
+		h.Merge(o.hists[name])
+	}
+	a.counters.Merge(o.counters)
+}
+
+// snapshot packages the accumulator's state.
+func (a *Accumulator) snapshot() *Snapshot {
+	return &Snapshot{
+		Schema:     SnapshotSchema,
+		SketchK:    NewSketch(a.k).K(),
+		Sketches:   a.sketches,
+		Histograms: a.hists,
+		Counters:   a.counters.Map(),
+	}
+}
+
+// Campaign owns the per-PoP accumulators of one streamed run. Its Sink
+// method is a session.SinkFactory; after the run, Snapshot merges the
+// shards in canonical (ascending) PoP order — the determinism rule that
+// keeps streamed output byte-identical at any parallelism.
+type Campaign struct {
+	mu     sync.Mutex
+	k      int
+	perPoP map[int]*Accumulator
+}
+
+// NewCampaign returns an empty campaign with the given sketch parameter
+// (<= 0 selects DefaultSketchK).
+func NewCampaign(k int) *Campaign {
+	return &Campaign{k: k, perPoP: map[int]*Accumulator{}}
+}
+
+// Sink returns the accumulator for popID, creating it on first use. It is
+// safe for concurrent use, though the session runner calls it from the
+// sequential plan phase.
+func (c *Campaign) Sink(popID int) core.RecordSink {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.perPoP[popID]
+	if !ok {
+		a = NewAccumulator(c.k)
+		c.perPoP[popID] = a
+	}
+	return a
+}
+
+// Snapshot merges the per-PoP accumulators in ascending PoP order and
+// returns the campaign-wide state. Call it only after the run completes.
+func (c *Campaign) Snapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pops := make([]int, 0, len(c.perPoP))
+	for p := range c.perPoP {
+		pops = append(pops, p)
+	}
+	sort.Ints(pops)
+	merged := NewAccumulator(c.k)
+	for _, p := range pops {
+		merged.Merge(c.perPoP[p])
+	}
+	return merged.snapshot()
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterSet is a bag of named monotonic counters. Dimensioned counters
+// use keys of the form "<base>_<dim>=<value>" (built by DimKey), e.g.
+// "chunks_cache=ram" or "sessions_pop=003"; numeric dimension values are
+// zero-padded so lexicographic key order matches numeric order and JSON
+// output (sorted keys) is stable. Merging adds counts, so the result is
+// independent of merge order.
+type CounterSet struct {
+	c map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet { return &CounterSet{c: map[string]uint64{}} }
+
+// Inc adds one to the named counter.
+func (cs *CounterSet) Inc(key string) { cs.c[key]++ }
+
+// AddN adds n to the named counter.
+func (cs *CounterSet) AddN(key string, n uint64) { cs.c[key] += n }
+
+// Get returns the counter's value (zero if never incremented).
+func (cs *CounterSet) Get(key string) uint64 { return cs.c[key] }
+
+// Merge adds o's counts into cs.
+func (cs *CounterSet) Merge(o *CounterSet) {
+	if o == nil {
+		return
+	}
+	for k, v := range o.c {
+		cs.c[k] += v
+	}
+}
+
+// Map returns a copy of the counters.
+func (cs *CounterSet) Map() map[string]uint64 {
+	out := make(map[string]uint64, len(cs.c))
+	for k, v := range cs.c {
+		out[k] = v
+	}
+	return out
+}
+
+// DimKey builds the canonical dimensioned-counter key "<base>_<dim>=<value>".
+func DimKey(base, dim, value string) string { return base + "_" + dim + "=" + value }
+
+// IntDimKey is DimKey for integer dimension values, zero-padded to five
+// digits so sorted keys are in numeric order.
+func IntDimKey(base, dim string, value int) string {
+	return DimKey(base, dim, fmt.Sprintf("%05d", value))
+}
+
+// DimCount is one (dimension value, count) row extracted from a counter
+// map.
+type DimCount struct {
+	Value string
+	N     uint64
+}
+
+// IntValue parses the dimension value as an integer (zero-padded values
+// from IntDimKey parse cleanly). It returns -1 if the value is not
+// numeric.
+func (d DimCount) IntValue() int {
+	v, err := strconv.Atoi(d.Value)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// CountersByDim extracts every counter of the form "<base>_<dim>=<value>"
+// from a counter map, sorted by value so the output order is
+// deterministic.
+func CountersByDim(counters map[string]uint64, base, dim string) []DimCount {
+	prefix := base + "_" + dim + "="
+	var out []DimCount
+	for k, n := range counters {
+		if v, ok := strings.CutPrefix(k, prefix); ok {
+			out = append(out, DimCount{Value: v, N: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}

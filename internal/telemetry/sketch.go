@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileSketch is a streaming quantile summary in the KLL family with a
+// fixed, deterministic compaction schedule: level h holds items of weight
+// 2^h, and when a level reaches k items it sorts them and promotes every
+// other one to the level above, starting from an offset that alternates
+// between compactions (the deterministic counterpart of KLL's coin flip).
+// The state after any sequence of Add and Merge calls is a pure function
+// of that sequence, which is what lets the sharded runner produce
+// byte-identical snapshots at any parallelism (see the package doc's
+// determinism rule).
+//
+// Memory is O(k·log(n/k)). The worst-case normalized rank error of
+// Quantile is bounded by ErrorBound (≈ 4/k); with the default k=256 that
+// is under 1.6% of rank. NaN inputs are ignored.
+type QuantileSketch struct {
+	k      int
+	n      uint64
+	min    float64
+	max    float64
+	levels [][]float64 // levels[h] holds items of weight 1<<h
+	parity []bool      // next compaction offset per level
+}
+
+// DefaultSketchK is the compaction parameter used when callers pass k <= 0.
+const DefaultSketchK = 256
+
+// NewSketch returns an empty sketch. k is clamped to an even value >= 8;
+// k <= 0 selects DefaultSketchK.
+func NewSketch(k int) *QuantileSketch {
+	if k <= 0 {
+		k = DefaultSketchK
+	}
+	if k < 8 {
+		k = 8
+	}
+	if k%2 == 1 {
+		k++
+	}
+	return &QuantileSketch{k: k, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// K returns the compaction parameter.
+func (s *QuantileSketch) K() int { return s.k }
+
+// N returns how many finite samples have been added (including via Merge).
+func (s *QuantileSketch) N() uint64 { return s.n }
+
+// Min returns the smallest sample seen, or NaN for an empty sketch.
+func (s *QuantileSketch) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest sample seen, or NaN for an empty sketch.
+func (s *QuantileSketch) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Add folds one sample into the sketch. NaN is ignored.
+func (s *QuantileSketch) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if len(s.levels) == 0 {
+		s.levels = [][]float64{make([]float64, 0, s.k)}
+		s.parity = []bool{false}
+	}
+	s.n++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.levels[0] = append(s.levels[0], v)
+	s.compactAll()
+}
+
+// Merge folds o into s. o is not modified. The result depends only on the
+// two states and their order, so callers that need reproducible output
+// must merge in a canonical order (the telemetry pipeline uses ascending
+// PoP ID).
+func (s *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for len(s.levels) < len(o.levels) {
+		s.levels = append(s.levels, make([]float64, 0, s.k))
+		s.parity = append(s.parity, false)
+	}
+	for h := range o.levels {
+		s.levels[h] = append(s.levels[h], o.levels[h]...)
+	}
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.compactAll()
+}
+
+// compactAll restores the per-level capacity invariant bottom-up. A
+// compaction at level h may overfill h+1; the ascending sweep reaches it
+// next, so one pass suffices.
+func (s *QuantileSketch) compactAll() {
+	for h := 0; h < len(s.levels); h++ {
+		if len(s.levels[h]) >= s.k {
+			s.compact(h)
+		}
+	}
+}
+
+// compact sorts level h and promotes every other item of its even-length
+// prefix to level h+1, alternating the starting offset between calls. An
+// odd leftover (the level's maximum) stays behind at full fidelity, so
+// compaction error comes only from the pairwise halving.
+func (s *QuantileSketch) compact(h int) {
+	if h+1 == len(s.levels) {
+		s.levels = append(s.levels, make([]float64, 0, s.k))
+		s.parity = append(s.parity, false)
+	}
+	buf := s.levels[h]
+	sort.Float64s(buf)
+	m := len(buf) &^ 1
+	off := 0
+	if s.parity[h] {
+		off = 1
+	}
+	s.parity[h] = !s.parity[h]
+	for i := off; i < m; i += 2 {
+		s.levels[h+1] = append(s.levels[h+1], buf[i])
+	}
+	s.levels[h] = buf[:copy(buf, buf[m:])]
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1), or NaN
+// for an empty sketch. The estimate is always one of the retained samples;
+// its rank differs from the true rank by at most ErrorBound()·N().
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	type weighted struct {
+		v float64
+		w uint64
+	}
+	total := 0
+	for _, lvl := range s.levels {
+		total += len(lvl)
+	}
+	items := make([]weighted, 0, total)
+	for h, lvl := range s.levels {
+		w := uint64(1) << uint(h)
+		for _, v := range lvl {
+			items = append(items, weighted{v, w})
+		}
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].v < items[j].v })
+	if q <= 0 {
+		return items[0].v
+	}
+	if q >= 1 {
+		return items[len(items)-1].v
+	}
+	target := q * float64(s.n-1)
+	var cum float64
+	for _, it := range items {
+		cum += float64(it.w)
+		if cum > target {
+			return it.v
+		}
+	}
+	return items[len(items)-1].v
+}
+
+// CDFAt estimates P(X <= x), or NaN for an empty sketch.
+func (s *QuantileSketch) CDFAt(x float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	var cum uint64
+	for h, lvl := range s.levels {
+		w := uint64(1) << uint(h)
+		for _, v := range lvl {
+			if v <= x {
+				cum += w
+			}
+		}
+	}
+	return float64(cum) / float64(s.n)
+}
+
+// ErrorBound returns the documented worst-case normalized rank error of
+// Quantile and CDFAt: 4/k. The alternating compaction offset cancels
+// consecutive compaction errors at each level, bounding the outstanding
+// error per level by that level's item weight; summed over levels that is
+// under 2N/k, and the bound doubles it as a safety margin for the parity
+// disturbance merges introduce. The parity tests assert the streaming and
+// exact analyses agree within this bound on the shared campaign.
+func (s *QuantileSketch) ErrorBound() float64 {
+	return math.Min(1, 4/float64(s.k))
+}
+
+// sketchWire is the JSON encoding of a sketch. Levels and parity encode
+// the exact internal state, so decode(encode(s)) continues the stream
+// deterministically.
+type sketchWire struct {
+	K      int         `json:"k"`
+	N      uint64      `json:"n"`
+	Min    float64     `json:"min"`
+	Max    float64     `json:"max"`
+	Parity []bool      `json:"parity,omitempty"`
+	Levels [][]float64 `json:"levels,omitempty"`
+}
+
+// MarshalJSON encodes the sketch state. An empty sketch writes min/max as
+// 0 (JSON has no infinities); UnmarshalJSON restores the sentinels.
+func (s *QuantileSketch) MarshalJSON() ([]byte, error) {
+	w := sketchWire{K: s.k, N: s.n, Parity: s.parity, Levels: s.levels}
+	if s.n > 0 {
+		w.Min, w.Max = s.min, s.max
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a sketch written by MarshalJSON.
+func (s *QuantileSketch) UnmarshalJSON(b []byte) error {
+	var w sketchWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	fresh := NewSketch(w.K)
+	*s = *fresh
+	if w.N == 0 {
+		return nil
+	}
+	if len(w.Levels) != len(w.Parity) {
+		return fmt.Errorf("telemetry: sketch has %d levels but %d parity bits",
+			len(w.Levels), len(w.Parity))
+	}
+	var held uint64
+	for h, lvl := range w.Levels {
+		held += uint64(len(lvl)) << uint(h)
+	}
+	if held != w.N {
+		return fmt.Errorf("telemetry: sketch levels hold weight %d, want n=%d", held, w.N)
+	}
+	s.n = w.N
+	s.min, s.max = w.Min, w.Max
+	s.levels = w.Levels
+	s.parity = w.Parity
+	s.compactAll()
+	return nil
+}

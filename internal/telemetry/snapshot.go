@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SnapshotSchema is the wire-format version WriteSnapshot emits and
+// ReadSnapshot requires.
+const SnapshotSchema = 1
+
+// Snapshot is the merged, serializable state of one streamed campaign:
+// the named quantile sketches, histograms, and counters. It is the
+// exchange format between cmd/vodsim -stream and cmd/analyze -snapshot.
+//
+// JSON encoding is deterministic: maps marshal with sorted keys and the
+// sketch/histogram states are themselves deterministic, so two snapshots
+// of the same campaign are byte-identical regardless of how many shards
+// ran concurrently.
+type Snapshot struct {
+	Schema     int                        `json:"schema"`
+	SketchK    int                        `json:"sketch_k"`
+	Sketches   map[string]*QuantileSketch `json:"sketches"`
+	Histograms map[string]*Histogram      `json:"histograms"`
+	Counters   map[string]uint64          `json:"counters"`
+}
+
+// Sketch returns the named sketch, or an empty one if the snapshot lacks
+// it, so consumers can render partial snapshots without nil checks.
+func (s *Snapshot) Sketch(name string) *QuantileSketch {
+	if sk, ok := s.Sketches[name]; ok && sk != nil {
+		return sk
+	}
+	return NewSketch(s.SketchK)
+}
+
+// Histogram returns the named histogram, or nil if absent.
+func (s *Snapshot) Histogram(name string) *Histogram { return s.Histograms[name] }
+
+// Counter returns the named counter (zero if absent).
+func (s *Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// WriteSnapshot serializes the snapshot as a single JSON object.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if err := json.NewEncoder(bw).Encode(s); err != nil {
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot, rejecting
+// payloads that are not schema-1 telemetry snapshots (a JSONL trace, for
+// instance, fails here with a clear error instead of rendering nonsense).
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("telemetry: read snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("telemetry: snapshot schema %d, want %d (is this a telemetry snapshot, not a trace?)",
+			s.Schema, SnapshotSchema)
+	}
+	return &s, nil
+}

@@ -310,6 +310,20 @@ func (p *Population) PlanSession(id uint64) SessionPlan {
 	return plan
 }
 
+// SessionArrival returns session id's arrival time, replaying only the
+// plan draws that precede it (prefix, video, watch length) without
+// building the platform, path, or stack state. It lets the runner
+// schedule 10M+ arrivals while retaining nothing but the session IDs —
+// full plans are rebuilt at arrival time, when the session actually
+// needs them.
+func (p *Population) SessionArrival(id uint64) float64 {
+	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
+	p.SamplePrefix(r)
+	p.Catalog.Sample(r)
+	r.Exp(p.Scenario.MeanWatchedChunks - 1)
+	return r.Uniform(0, p.Scenario.ArrivalWindowMS)
+}
+
 // SessionPoP returns the PoP that will serve session id, replaying only
 // the prefix draw of PlanSession. It lets the runner partition sessions
 // across shards without paying for full plans twice.

@@ -235,3 +235,15 @@ func TestPartitionByPoPCoversAllSessions(t *testing.T) {
 		t.Fatalf("clamped partition sizes wrong: %d buckets", len(one))
 	}
 }
+
+// TestSessionArrivalMatchesPlan pins the arrival-only replay to the full
+// plan: the runner schedules from SessionArrival and rebuilds the plan at
+// arrival time, so the two must agree exactly for every session.
+func TestSessionArrivalMatchesPlan(t *testing.T) {
+	pop := Build(Scenario{Seed: 42, NumSessions: 500, NumPrefixes: 120})
+	for id := uint64(1); id <= 500; id++ {
+		if got, want := pop.SessionArrival(id), pop.PlanSession(id).ArrivalMS; got != want {
+			t.Fatalf("session %d: SessionArrival %v != plan arrival %v", id, got, want)
+		}
+	}
+}
