@@ -6,12 +6,19 @@
 //
 //	analyze -trace trace.jsonl [-only fig05,table4] [-max-rank 6000]
 //	analyze -snapshot snap.json [-only stream-cdn]
+//	analyze -compare baseline.json candidate.json
 //
 // With -snapshot the input is a telemetry snapshot from
 // cmd/vodsim -stream: the sketch-backed subset of the figures is rendered
 // from the bounded-memory aggregates instead of per-record data. Proxy
 // preprocessing does not apply to snapshots (it needs the joined
 // dataset), so -filter-proxies is ignored in that mode.
+//
+// With -compare two snapshots are diffed instead of rendered: the flag
+// value is the baseline, the positional argument the candidate, and the
+// output is the A/B delta table (quantile shifts per sketch metric,
+// counter movements, derived rates). This is how campaign cells produced
+// by cmd/sweep or vodsim -spec are contrasted after the fact.
 package main
 
 import (
@@ -33,6 +40,7 @@ func main() {
 	var (
 		trace    = flag.String("trace", "trace.jsonl", "input JSONL trace (from vodsim)")
 		snapshot = flag.String("snapshot", "", "input telemetry snapshot (from vodsim -stream); replaces -trace")
+		compare  = flag.String("compare", "", "baseline telemetry snapshot; diffs the positional candidate snapshot against it")
 		only     = flag.String("only", "", "comma-separated figure IDs to render (default all)")
 		maxRank  = flag.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
 		filter   = flag.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis (trace mode only)")
@@ -48,6 +56,16 @@ func main() {
 	if *snapshot != "" && traceSet {
 		log.Fatal("invalid flags: -trace and -snapshot are mutually exclusive")
 	}
+	if *compare != "" {
+		if traceSet || *snapshot != "" {
+			log.Fatal("invalid flags: -compare excludes -trace and -snapshot")
+		}
+		if flag.NArg() != 1 {
+			log.Fatalf("usage: analyze -compare baseline.json candidate.json (got %d candidates)", flag.NArg())
+		}
+		runCompare(*compare, flag.Arg(0))
+		return
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -58,15 +76,7 @@ func main() {
 
 	var results []figures.Result
 	if *snapshot != "" {
-		f, err := os.Open(*snapshot)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sn, err := telemetry.ReadSnapshot(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		sn := loadSnapshot(*snapshot)
 		log.Printf("loaded snapshot: %d sessions, %d chunks, %d sketches (k=%d)",
 			sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
 			len(sn.Sketches), sn.SketchK)
@@ -104,8 +114,42 @@ func main() {
 			fail++
 		}
 	}
+	if len(want) > 0 && pass+fail == 0 {
+		// A filter that matches nothing must not look like success —
+		// trace figures (fig05…) and snapshot figures (stream-*) live
+		// in different namespaces, and a stale -only crossing them
+		// would otherwise exit 0 having checked nothing.
+		ids := make([]string, len(results))
+		for i, res := range results {
+			ids[i] = res.ID
+		}
+		log.Fatalf("-only %q matched no figure (this mode renders: %s)", *only, strings.Join(ids, ", "))
+	}
 	fmt.Printf("== %d figures reproduce, %d shape mismatches ==\n", pass, fail)
 	if fail > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCompare loads two snapshots and prints the A/B delta table.
+func runCompare(basePath, candPath string) {
+	base := loadSnapshot(basePath)
+	cand := loadSnapshot(candPath)
+	log.Printf("baseline %s: %d sessions; candidate %s: %d sessions",
+		basePath, base.Counter(telemetry.CounterSessions),
+		candPath, cand.Counter(telemetry.CounterSessions))
+	fmt.Println(figures.StreamCompare(base, cand).Render())
+}
+
+func loadSnapshot(path string) *telemetry.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sn, err := telemetry.ReadSnapshot(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return sn
 }

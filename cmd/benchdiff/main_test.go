@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: vidperf
+cpu: Fake CPU @ 2.00GHz
+BenchmarkRunParallel/p1-8         	       1	2000000000 ns/op	       900 chunks
+BenchmarkRunParallel/p1-8         	       1	1800000000 ns/op	       900 chunks
+BenchmarkStreamingRun/stream-8    	       1	 950000000 ns/op	 120000000 B/op	   50000 allocs/op
+BenchmarkStreamingRun/stream-8    	       1	 900000000 ns/op	 121000000 B/op	   50000 allocs/op
+PASS
+ok  	vidperf	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok := got["RunParallel/p1"]
+	if !ok {
+		t.Fatalf("RunParallel/p1 missing (cpu suffix not stripped?): %v", got)
+	}
+	if p1.NsPerOp != 1.8e9 {
+		t.Errorf("RunParallel/p1 ns/op = %g, want min 1.8e9", p1.NsPerOp)
+	}
+	if p1.BPerOp != 0 {
+		t.Errorf("RunParallel/p1 B/op = %g, want 0 (no -benchmem)", p1.BPerOp)
+	}
+	st, ok := got["StreamingRun/stream"]
+	if !ok {
+		t.Fatalf("StreamingRun/stream missing: %v", got)
+	}
+	if st.NsPerOp != 9e8 || st.BPerOp != 1.2e8 {
+		t.Errorf("StreamingRun/stream = %+v, want min ns=9e8 B=1.2e8", st)
+	}
+	if len(got) != 2 {
+		t.Errorf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	base := map[string]BenchStat{
+		"fast":    {NsPerOp: 100, BPerOp: 1000},
+		"mem":     {NsPerOp: 100, BPerOp: 1000},
+		"missing": {NsPerOp: 100},
+	}
+	var sb strings.Builder
+	// Within threshold: +20% ns, B/op flat.
+	n := Compare(&sb, base, map[string]BenchStat{
+		"fast": {NsPerOp: 120, BPerOp: 1000},
+		"mem":  {NsPerOp: 100, BPerOp: 1100},
+		"new":  {NsPerOp: 5},
+	}, 0.25)
+	if n != 0 {
+		t.Fatalf("within-threshold run reported %d regressions:\n%s", n, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "missing") || !strings.Contains(out, "(not run)") {
+		t.Errorf("missing benchmark not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "new") || !strings.Contains(out, "no baseline") {
+		t.Errorf("unknown benchmark not reported:\n%s", out)
+	}
+
+	// ns/op regression beyond threshold.
+	sb.Reset()
+	if n := Compare(&sb, base, map[string]BenchStat{
+		"fast": {NsPerOp: 130, BPerOp: 1000},
+		"mem":  {NsPerOp: 100, BPerOp: 1000},
+	}, 0.25); n != 1 {
+		t.Errorf("ns/op regression: got %d, want 1\n%s", n, sb.String())
+	}
+
+	// B/op regression beyond threshold, ns/op fine.
+	sb.Reset()
+	if n := Compare(&sb, base, map[string]BenchStat{
+		"fast": {NsPerOp: 100, BPerOp: 1000},
+		"mem":  {NsPerOp: 100, BPerOp: 1300},
+	}, 0.25); n != 1 {
+		t.Errorf("B/op regression: got %d, want 1\n%s", n, sb.String())
+	}
+}

@@ -1,153 +1,194 @@
-// Command sweep runs one-factor sensitivity sweeps over the simulator's
-// main design knobs and prints how the paper's headline metrics respond —
-// useful for checking which findings are robust to the substitution
-// choices DESIGN.md documents and which are calibration-sensitive.
+// Command sweep runs a declarative experiment campaign: it expands a
+// spec (a JSON file from examples/specs/ or a built-in preset) into its
+// cell grid, executes every cell through the streaming-telemetry
+// pipeline with bounded parallelism, and prints a per-cell summary table
+// plus the A/B deltas of each cell against the spec's baseline cell.
+// The hardcoded one-factor sweeps this command used to contain now live
+// as specs: examples/specs/zipf-sweep.json expands to exactly the
+// scenarios the old -factor zipf code built (internal/experiment's
+// parity tests pin every cell's scenario and the runner's snapshot
+// bytes). Reported metrics differ from the old sweep in one declared
+// way: they come from the streaming telemetry pipeline, which keeps no
+// joined dataset and therefore cannot apply the §3 proxy preprocessing
+// the old sweep ran before measuring.
 //
 // Usage:
 //
-//	sweep [-sessions 2000] [-factor all|zipf|ram|retry|abr|buffer] [-parallel 0]
+//	sweep -spec examples/specs/zipf-sweep.json [-out snapshots/] [-workers 2]
+//	sweep -preset cache-policy-matrix [-sessions 1000]
+//	sweep -list
+//
+// With -out each cell writes its labelled snapshot to <dir>/<cell>.json,
+// ready for cmd/analyze -snapshot or -compare. -sessions/-parallel
+// override every cell (the old sweep's laptop-scale knobs); -full-deltas
+// appends the complete per-metric delta table for every non-baseline
+// cell instead of the compact summary columns.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
+	"sync"
 
 	"vidperf/internal/analysis"
-	"vidperf/internal/catalog"
-	"vidperf/internal/core"
-	"vidperf/internal/session"
-	"vidperf/internal/stats"
-	"vidperf/internal/workload"
+	"vidperf/internal/experiment"
+	"vidperf/internal/figures"
+	"vidperf/internal/telemetry"
 )
 
 var (
-	sessions = flag.Int("sessions", 2000, "sessions per sweep point")
-	factor   = flag.String("factor", "all", "which factor to sweep (all|zipf|ram|retry|abr|buffer)")
-	parallel = flag.Int("parallel", 0, "max PoP shards simulated concurrently per sweep point (0 = GOMAXPROCS)")
+	specPath   = flag.String("spec", "", "experiment spec file (JSON; see examples/specs/)")
+	preset     = flag.String("preset", "", "built-in spec name (see -list); alternative to -spec")
+	list       = flag.Bool("list", false, "list built-in presets and exit")
+	outDir     = flag.String("out", "", "directory for per-cell snapshot files (omit to keep snapshots in memory)")
+	workers    = flag.Int("workers", 1, "max cells simulated concurrently")
+	sessions   = flag.Int("sessions", 0, "override every cell's session count (0 = per spec)")
+	parallel   = flag.Int("parallel", 0, "override every cell's PoP-shard parallelism (0 = per spec)")
+	fullDeltas = flag.Bool("full-deltas", false, "print the full per-metric delta table for each non-baseline cell")
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	flag.Parse()
-
-	switch *factor {
-	case "all":
-		sweepZipf()
-		sweepRAM()
-		sweepRetry()
-		sweepABR()
-		sweepBuffer()
-	case "zipf":
-		sweepZipf()
-	case "ram":
-		sweepRAM()
-	case "retry":
-		sweepRetry()
-	case "abr":
-		sweepABR()
-	case "buffer":
-		sweepBuffer()
-	default:
-		log.Fatalf("unknown factor %q", *factor)
+	if len(flag.Args()) > 0 {
+		log.Fatalf("unexpected arguments %q (all options are flags)", flag.Args())
 	}
-}
 
-func baseScenario(seed uint64) workload.Scenario {
-	return workload.Scenario{
-		Seed:        seed,
-		NumSessions: *sessions,
-		NumPrefixes: 400,
-		Catalog:     catalog.Config{NumVideos: 1500},
-		Parallelism: *parallel,
+	if *list {
+		for _, name := range experiment.Presets() {
+			sp, _ := experiment.Preset(name)
+			fmt.Printf("%-22s %s\n", name, sp.Description)
+		}
+		return
 	}
-}
 
-func run(sc workload.Scenario) *core.Dataset {
-	ds, err := session.Run(sc)
+	sp := loadSpec()
+	// Cell scenarios inherit the spec scenario, so the laptop-scale
+	// overrides apply once here and reach every cell through Expand.
+	if *sessions > 0 {
+		sp.Scenario.Sessions = *sessions
+	}
+	if *parallel > 0 {
+		sp.Scenario.Parallel = *parallel
+	}
+	cells, err := sp.Expand()
 	if err != nil {
 		log.Fatal(err)
 	}
-	return core.FilterProxies(ds, core.ProxyFilterConfig{}).Kept
-}
 
-func sweepZipf() {
-	fmt.Println("== popularity skew (Zipf exponent) vs cache behaviour ==")
-	fmt.Printf("%-8s %12s %14s %16s\n", "alpha", "top10 share", "miss rate %", "retry share %")
-	for _, a := range []float64{0.6, 0.8, 0.9, 1.0, 1.1} {
-		sc := baseScenario(11)
-		sc.Catalog.ZipfExponent = a
-		ds := run(sc)
-		st := analysis.ComputeDatasetStats(ds)
-		br := analysis.BreakdownCDNLatency(ds)
-		fmt.Printf("%-8.1f %11.1f%% %13.2f%% %15.1f%%\n",
-			a, 100*st.Top10VideoShare, 100*st.OverallMissRate, 100*br.RetryTimerChunkShare)
-	}
-	fmt.Println()
-}
-
-func sweepRAM() {
-	fmt.Println("== server RAM cache size vs the retry-timer finding ==")
-	fmt.Printf("%-10s %16s %14s %14s\n", "RAM", "retry share %", "med hit ms", "med miss ms")
-	for _, gb := range []float64{0.25, 0.5, 1, 2, 4} {
-		sc := baseScenario(12)
-		sc.Fleet.Server.RAMBytes = int64(gb * float64(1<<30))
-		ds := run(sc)
-		br := analysis.BreakdownCDNLatency(ds)
-		fmt.Printf("%-9.2fG %15.1f%% %14.2f %14.1f\n",
-			gb, 100*br.RetryTimerChunkShare, br.MedianHitMS, br.MedianMissMS)
-	}
-	fmt.Println()
-}
-
-func sweepRetry() {
-	fmt.Println("== ATS open-read retry timer vs Dread (ablation A2) ==")
-	fmt.Printf("%-10s %14s %14s\n", "timer ms", "p75 Dread ms", "p95 Dread ms")
-	for _, ms := range []float64{10, 5, 2, 0.5} {
-		sc := baseScenario(13)
-		sc.Fleet.Server.OpenRetryMS = ms
-		ds := run(sc)
-		br := analysis.BreakdownCDNLatency(ds)
-		fmt.Printf("%-10.1f %14.2f %14.2f\n",
-			ms, br.Dread.Quantile(0.75), br.Dread.Quantile(0.95))
-	}
-	fmt.Println()
-}
-
-func sweepABR() {
-	fmt.Println("== ABR algorithm vs QoE (ablation A6) ==")
-	fmt.Printf("%-24s %12s %12s\n", "abr", "kbps(avg)", "rebuf %")
-	for _, name := range []string{"hybrid", "buffer-based", "rate-smoothed", "rate-instant", "server-signal"} {
-		sc := baseScenario(14)
-		sc.ABRName = name
-		ds := run(sc)
-		var br, rb stats.Summary
-		for i := range ds.Sessions {
-			br.Add(ds.Sessions[i].AvgBitrateKbps)
-			rb.Add(ds.Sessions[i].RebufferRate)
-		}
-		fmt.Printf("%-24s %12.0f %11.2f%%\n", name, br.Mean(), 100*rb.Mean())
-	}
-	fmt.Println()
-}
-
-func sweepBuffer() {
-	fmt.Println("== player buffer high-water mark vs re-buffering ==")
-	fmt.Printf("%-10s %12s %16s\n", "target s", "rebuf %", "startup ms(med)")
-	for _, s := range []float64{10, 18, 30, 60} {
-		sc := baseScenario(15)
-		sc.MaxBufferSec = s
-		ds := run(sc)
-		var rb stats.Summary
-		var st []float64
-		for i := range ds.Sessions {
-			rb.Add(ds.Sessions[i].RebufferRate)
-			if v := ds.Sessions[i].StartupMS; v == v {
-				st = append(st, v)
+	log.Printf("campaign %s: %d cells (workers=%d, sketch k=%d)",
+		sp.Name, len(cells), *workers, sp.EffectiveSketchK())
+	var mu sync.Mutex
+	done := 0
+	res, err := experiment.RunCampaign(sp, experiment.RunOptions{
+		Workers: *workers,
+		OutDir:  *outDir,
+		Progress: func(cell experiment.Cell, err error) {
+			mu.Lock()
+			done++
+			n := done
+			mu.Unlock()
+			if err != nil {
+				log.Printf("[%d/%d] %s: %v", n, len(cells), cell.Name, err)
+				return
 			}
-		}
-		fmt.Printf("%-10.0f %11.2f%% %16.0f\n", s, 100*rb.Mean(), stats.Median(st))
+			log.Printf("[%d/%d] %s done", n, len(cells), cell.Name)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println()
+
+	printSummary(res)
+	if *fullDeltas {
+		base := res.Baseline()
+		for i := range res.Cells {
+			if i == res.BaselineIndex {
+				continue
+			}
+			fmt.Println(figures.StreamCompare(base.Snapshot, res.Cells[i].Snapshot).Render())
+		}
+	}
+	if *outDir != "" {
+		log.Printf("wrote %d snapshots to %s", len(res.Cells), *outDir)
+	}
+}
+
+func loadSpec() *experiment.Spec {
+	switch {
+	case *specPath != "" && *preset != "":
+		log.Fatal("-spec and -preset are mutually exclusive")
+	case *specPath != "":
+		sp, err := experiment.LoadFile(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sp
+	case *preset != "":
+		sp, ok := experiment.Preset(*preset)
+		if !ok {
+			log.Fatalf("unknown preset %q (have %s)", *preset, strings.Join(experiment.Presets(), ", "))
+		}
+		return &sp
+	}
+	log.Fatal("one of -spec, -preset, or -list is required")
+	return nil
+}
+
+// printSummary renders the per-cell table: headline metrics per cell
+// plus compact deltas against the baseline cell.
+func printSummary(res *experiment.CampaignResult) {
+	base := res.Baseline()
+	fmt.Printf("\n== campaign %s: %d cells, baseline %s ==\n",
+		res.Spec.Name, len(res.Cells), base.Cell.Name)
+	fmt.Printf("%-34s %10s %9s %8s %8s %11s %10s %9s\n",
+		"cell", "seed", "sessions", "hit%", "retry%", "startup p50", "rebuf p90", "Δhit%")
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		sn := c.Snapshot
+		marker := ""
+		dHit := "-"
+		if i == res.BaselineIndex {
+			marker = " *"
+		} else {
+			dHit = fmt.Sprintf("%+.2f", 100*(hitRatio(sn)-hitRatio(base.Snapshot)))
+		}
+		fmt.Printf("%-34s %10d %9d %8.2f %8.2f %11.0f %10.4f %9s%s\n",
+			c.Cell.Name, c.Cell.Scenario.Seed,
+			sn.Counter(telemetry.CounterSessions),
+			100*hitRatio(sn),
+			100*retryShare(sn),
+			sn.Sketch(telemetry.MetricStartupMS).Quantile(0.5),
+			sn.Sketch(telemetry.MetricRebufferRate).Quantile(0.9),
+			dHit, marker)
+	}
+	fmt.Println("(* baseline; Δ columns are candidate − baseline. analysis quantiles:",
+		quantileList(), "— run with -full-deltas or analyze -compare for the full tables)")
+}
+
+func hitRatio(sn *telemetry.Snapshot) float64 {
+	chunks := sn.Counter(telemetry.CounterChunks)
+	if chunks == 0 {
+		return 0
+	}
+	return float64(sn.Counter(telemetry.CounterChunksHit)) / float64(chunks)
+}
+
+func retryShare(sn *telemetry.Snapshot) float64 {
+	chunks := sn.Counter(telemetry.CounterChunks)
+	if chunks == 0 {
+		return 0
+	}
+	return float64(sn.Counter(telemetry.CounterChunksRetryTimer)) / float64(chunks)
+}
+
+func quantileList() string {
+	parts := make([]string, len(analysis.CompareQuantiles))
+	for i, q := range analysis.CompareQuantiles {
+		parts[i] = fmt.Sprintf("p%.0f", q*100)
+	}
+	return strings.Join(parts, "/")
 }

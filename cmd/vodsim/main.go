@@ -20,6 +20,19 @@
 // O(sketch), independent of the record volume, so -stream is the mode for
 // 10M+-session campaigns. -stream cannot be combined with the CSV exports
 // or -filter-proxies, which need the full joined dataset.
+//
+// With -spec the scenario comes from a declarative experiment spec
+// (internal/experiment; see examples/specs/) instead of individual
+// flags:
+//
+//	vodsim -spec examples/specs/paper-baseline.json -out snapshot.json
+//
+// The spec must expand to a single cell (multi-cell campaigns belong to
+// cmd/sweep); the run always streams, writing a labelled telemetry
+// snapshot. Only -out, -parallel, -seed, -sessions, -prefixes, -videos
+// and -sketch-k may be combined with -spec, overriding the spec's values
+// — the overrides the CI determinism gate uses to replay one spec at
+// several -parallel settings and byte-compare the snapshots.
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 
 	"vidperf/internal/catalog"
 	"vidperf/internal/core"
+	"vidperf/internal/experiment"
 	"vidperf/internal/session"
 	"vidperf/internal/telemetry"
 	"vidperf/internal/workload"
@@ -49,12 +63,24 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "max PoP shards simulated concurrently (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 		filterProxy = flag.Bool("filter-proxies", false, "apply the §3 proxy preprocessing before writing")
 		stream      = flag.Bool("stream", false, "streaming telemetry mode: aggregate into bounded-memory sketches and write a snapshot instead of a trace")
+		spec        = flag.String("spec", "", "run a single-cell experiment spec (JSON, see examples/specs/) in streaming mode; replaces the scenario flags")
 		sketchK     = flag.Int("sketch-k", telemetry.DefaultSketchK, "quantile-sketch compaction parameter in -stream mode (error bound ≈ 4/k)")
 		out         = flag.String("out", "trace.jsonl", "output path (JSONL trace, or JSON snapshot with -stream)")
 		chunksCSV   = flag.String("chunks-csv", "", "optional CSV export of the chunk table")
 		sessCSV     = flag.String("sessions-csv", "", "optional CSV export of the session table")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *spec != "" {
+		if err := validateSpecFlags(set, *sketchK, flag.Args()); err != nil {
+			log.Fatalf("invalid flags: %v", err)
+		}
+		runSpec(*spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *out)
+		return
+	}
 
 	if err := validateFlags(*sessions, *prefixes, *videos, *parallel, *sketchK,
 		*stream, *filterProxy, *chunksCSV, *sessCSV, flag.Args()); err != nil {
@@ -147,14 +173,92 @@ func validateFlags(sessions, prefixes, videos, parallel, sketchK int,
 	return nil
 }
 
+// specOverridableFlags are the flags that may accompany -spec, each
+// overriding the spec's value when explicitly set.
+var specOverridableFlags = map[string]bool{
+	"spec": true, "out": true, "parallel": true, "seed": true,
+	"sessions": true, "prefixes": true, "videos": true, "sketch-k": true,
+}
+
+// validateSpecFlags rejects flag combinations that contradict spec mode:
+// the spec is the scenario, so only the override allowlist may be set,
+// and overrides obey the same bounds as their -stream counterparts.
+func validateSpecFlags(set map[string]bool, sketchK int, extra []string) error {
+	if len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments %q (all options are flags)", extra)
+	}
+	for name := range set {
+		if !specOverridableFlags[name] {
+			return fmt.Errorf("-%s cannot be combined with -spec (the spec defines the scenario; only -out/-parallel/-seed/-sessions/-prefixes/-videos/-sketch-k override)", name)
+		}
+	}
+	if set["sketch-k"] && sketchK < 8 {
+		return fmt.Errorf("-sketch-k must be >= 8 (got %d)", sketchK)
+	}
+	return nil
+}
+
+// runSpec executes a single-cell experiment spec in streaming mode,
+// applying any explicitly-set override flags, and writes the labelled
+// snapshot to out.
+func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
+	seed uint64, parallel, sketchK int, out string) {
+	sp, err := experiment.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells, err := sp.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(cells) != 1 {
+		log.Fatalf("%s expands to %d cells; vodsim -spec runs single-cell specs (use cmd/sweep for campaigns)", path, len(cells))
+	}
+	cell := cells[0]
+	if set["sessions"] {
+		cell.Scenario.NumSessions = sessions
+	}
+	if set["prefixes"] {
+		cell.Scenario.NumPrefixes = prefixes
+	}
+	if set["videos"] {
+		cell.Scenario.Catalog.NumVideos = videos
+	}
+	if set["seed"] {
+		cell.Scenario.Seed = seed
+	}
+	if set["parallel"] {
+		cell.Scenario.Parallelism = parallel
+	}
+	if set["sketch-k"] {
+		sp.SketchK = sketchK
+	}
+	sc := cell.Scenario.WithDefaults()
+	log.Printf("spec %s cell %s: %d sessions (seed=%d, abr=%s, parallel=%d)",
+		sp.Name, cell.Name, sc.NumSessions, sc.Seed, sc.ABRName, cell.Scenario.Parallelism)
+	res, err := experiment.RunCell(sp, cell, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sn := res.Snapshot
+	log.Printf("streamed %d sessions / %d chunks into %d sketches (k=%d)",
+		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
+		len(sn.Sketches), sn.SketchK)
+	if err := writeFile(out, func(f *os.File) error {
+		return telemetry.WriteSnapshot(f, sn)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
 // runStreaming executes the campaign through per-shard telemetry
 // accumulators and writes the merged snapshot.
 func runStreaming(sc workload.Scenario, sketchK int, out string) {
-	camp := telemetry.NewCampaign(sketchK)
-	if err := session.RunWithSinks(sc, camp.Sink); err != nil {
+	sn, err := session.RunTelemetry(sc, sketchK)
+	if err != nil {
 		log.Fatal(err)
 	}
-	sn := camp.Snapshot()
 	log.Printf("streamed %d sessions / %d chunks into %d sketches (k=%d)",
 		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
 		len(sn.Sketches), sn.SketchK)

@@ -46,3 +46,44 @@ func TestValidateFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateSpecFlags(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{"spec": true}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	// The override allowlist is fine, alone or together.
+	if err := validateSpecFlags(set(), 256, nil); err != nil {
+		t.Errorf("bare -spec rejected: %v", err)
+	}
+	if err := validateSpecFlags(set("out", "parallel", "seed", "sessions", "prefixes", "videos", "sketch-k"), 256, nil); err != nil {
+		t.Errorf("override flags rejected: %v", err)
+	}
+	// Scenario-defining flags must not fight the spec.
+	for _, bad := range []string{"abr", "cold", "stream", "filter-proxies", "chunks-csv", "sessions-csv"} {
+		err := validateSpecFlags(set(bad), 256, nil)
+		if err == nil {
+			t.Errorf("-%s combined with -spec accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), bad) {
+			t.Errorf("-%s: error %q does not name the flag", bad, err)
+		}
+	}
+	if err := validateSpecFlags(set(), 256, []string{"extra.json"}); err == nil {
+		t.Error("positional args with -spec accepted")
+	}
+	// The -stream bound on -sketch-k applies in spec mode too: an
+	// out-of-range override must error, not silently clamp.
+	if err := validateSpecFlags(set("sketch-k"), 2, nil); err == nil ||
+		!strings.Contains(err.Error(), "sketch-k") {
+		t.Errorf("tiny -sketch-k with -spec: %v", err)
+	}
+	// An unset -sketch-k carries the flag default; no bound check applies.
+	if err := validateSpecFlags(set(), 2, nil); err != nil {
+		t.Errorf("unset sketch-k value checked anyway: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"vidperf/internal/telemetry"
+)
+
+func compareSnap(scale float64, chunks, hits uint64) *telemetry.Snapshot {
+	sk := telemetry.NewSketch(64)
+	for i := 0; i < 1000; i++ {
+		sk.Add(scale * float64(i))
+	}
+	return &telemetry.Snapshot{
+		Schema:   telemetry.SnapshotSchema,
+		SketchK:  64,
+		Sketches: map[string]*telemetry.QuantileSketch{"lat_ms": sk, "only_a": telemetry.NewSketch(64)},
+		Counters: map[string]uint64{
+			telemetry.CounterChunks:    chunks,
+			telemetry.CounterChunksHit: hits,
+			"chunks_cache=ram":         hits, // dimensioned: must not appear in scalar diff
+		},
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	a := compareSnap(1, 1000, 900)
+	b := compareSnap(2, 1200, 600)
+	delete(b.Sketches, "only_a") // present on one side only: skipped
+	cmp := CompareSnapshots(a, b)
+
+	if len(cmp.Metrics) != 1 || cmp.Metrics[0].Name != "lat_ms" {
+		t.Fatalf("metrics = %+v, want only the shared lat_ms", cmp.Metrics)
+	}
+	md := cmp.Metrics[0]
+	if len(md.Quantiles) != len(CompareQuantiles) {
+		t.Fatalf("quantile rows = %d, want %d", len(md.Quantiles), len(CompareQuantiles))
+	}
+	p50 := md.Quantiles[0]
+	if p50.Q != 0.5 {
+		t.Fatalf("first quantile = %g, want 0.5", p50.Q)
+	}
+	// b's samples are exactly 2x a's, so every quantile doubles (within
+	// sketch error); RelDelta must sit near +1.
+	if p50.RelDelta < 0.9 || p50.RelDelta > 1.1 {
+		t.Errorf("p50 rel delta = %g, want ≈ +1.0 (a=%g b=%g)", p50.RelDelta, p50.A, p50.B)
+	}
+
+	for _, c := range cmp.Counters {
+		if c.Name == "chunks_cache=ram" {
+			t.Error("dimensioned counter leaked into scalar diff")
+		}
+		if c.Name == telemetry.CounterChunks {
+			if c.Delta != 200 || math.Abs(c.RelDelta-0.2) > 1e-12 {
+				t.Errorf("chunks delta = %+d (%g), want +200 (0.2)", c.Delta, c.RelDelta)
+			}
+		}
+	}
+
+	var hit *RateDelta
+	for i := range cmp.Rates {
+		if cmp.Rates[i].Name == "cache_hit_ratio" {
+			hit = &cmp.Rates[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("cache_hit_ratio rate missing")
+	}
+	if math.Abs(hit.A-0.9) > 1e-12 || math.Abs(hit.B-0.5) > 1e-12 {
+		t.Errorf("hit ratio = %g -> %g, want 0.9 -> 0.5", hit.A, hit.B)
+	}
+
+	// Empty snapshots must not panic and produce NaN-safe output.
+	empty := &telemetry.Snapshot{Schema: telemetry.SnapshotSchema, SketchK: 64}
+	c2 := CompareSnapshots(empty, empty)
+	if len(c2.Metrics) != 0 || len(c2.Counters) != 0 {
+		t.Errorf("empty comparison = %+v", c2)
+	}
+	for _, r := range c2.Rates {
+		if !math.IsNaN(r.A) || !math.IsNaN(r.B) {
+			t.Errorf("rate %s on empty snapshots = %g/%g, want NaN", r.Name, r.A, r.B)
+		}
+	}
+}

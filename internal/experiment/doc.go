@@ -1,0 +1,24 @@
+// Package experiment turns measurement campaigns into data: a JSON
+// scenario-spec format that maps onto workload.Scenario, named presets
+// for the paper's comparative setups (paper-baseline, cold-start,
+// flash-crowd, abr-ablation, cache-policy-matrix, zipf-sweep), a grid
+// expander that crosses axes (abr × ram_gb × zipf_s × …) into experiment
+// cells with deterministic per-cell seeds, and a campaign runner that
+// executes cells through the streaming-telemetry pipeline
+// (session.RunTelemetry) with bounded parallelism — one named snapshot
+// per cell plus an A/B delta against a declared baseline cell.
+//
+// The paper's value is comparative (§4–§6 contrast cache levels, org
+// types, bitrates, and PoPs); this package is the substrate that lets
+// every such contrast be written as a spec file under examples/specs/
+// and replayed by cmd/sweep, cmd/vodsim -spec, and cmd/analyze -compare
+// instead of living as hardcoded Go.
+//
+// Determinism: a cell's snapshot depends only on its scenario (seed
+// included) and sketch parameter — never on how many cells ran
+// concurrently or in what order — because each cell is an independent
+// session.RunTelemetry run and those are byte-identical at any
+// parallelism. Per-cell seeds derive from (base seed, cell name) via a
+// splitmix64 finalizer, so regenerating a campaign reproduces it bit for
+// bit.
+package experiment

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// presets is the built-in spec registry. Each entry is a complete,
+// validated Spec; files under examples/specs/ either restate them (so
+// they are greppable documentation) or extend them via "preset".
+var presets = map[string]Spec{
+	// The steady-state campaign the paper measures: every knob at its
+	// calibrated default, one cell. This is the spec the CI determinism
+	// gate replays at -parallel 1 and 8 and byte-compares.
+	"paper-baseline": {
+		Name:        "paper-baseline",
+		Description: "Paper §3 steady-state campaign at laptop scale; all knobs at calibrated defaults.",
+		Scenario:    ScenarioSpec{Seed: u64(1)},
+	},
+
+	// Freshly deployed CDN vs the pre-warmed steady state (ablation; the
+	// paper measures only the warm regime).
+	"cold-start": {
+		Name:        "cold-start",
+		Description: "Warm (paper regime) vs cold CDN caches: miss rate, Dread, and startup deltas.",
+		Scenario:    ScenarioSpec{Seed: u64(21), Sessions: 4000, Prefixes: 600, Videos: 1500},
+		Axes:        []Axis{{Name: "cold", Values: vals(false, true)}},
+		Baseline:    "cold=false",
+	},
+
+	// A release-day surge: cold caches crossed with the same session
+	// volume compressed from a 30-minute window into 2 minutes, against
+	// a hotter catalog. The grid separates the two effects: the surge
+	// alone barely moves per-chunk latency (the worker pools have
+	// headroom — Dwait stays sub-ms, as the paper reports), while cold
+	// caches dominate every miss-path metric.
+	"flash-crowd": {
+		Name:        "flash-crowd",
+		Description: "Release-day flash crowd: cold caches crossed with a 30-minute vs 2-minute arrival window on a skewed catalog.",
+		Scenario:    ScenarioSpec{Seed: u64(31), Sessions: 4000, Prefixes: 600, Videos: 1500, ZipfS: 1.1},
+		Axes: []Axis{
+			{Name: "cold", Values: vals(false, true)},
+			{Name: "arrival_window_min", Values: vals(30, 2)},
+		},
+		Baseline: "cold=false,arrival_window_min=30",
+	},
+
+	// The §4.3 adaptation-signal ablation (old cmd/sweep -factor abr).
+	"abr-ablation": {
+		Name:        "abr-ablation",
+		Description: "ABR algorithm ablation: bitrate vs re-buffering across the internal/abr variants.",
+		Scenario:    ScenarioSpec{Seed: u64(14), Sessions: 2000, Prefixes: 400, Videos: 1500},
+		Axes: []Axis{{Name: "abr", Values: vals(
+			"hybrid", "buffer-based", "rate-smoothed", "rate-instant", "server-signal")}},
+		Baseline: "abr=hybrid",
+	},
+
+	// Eviction policy × RAM size grid (§4.1 take-away: GD-Size over LRU).
+	"cache-policy-matrix": {
+		Name:        "cache-policy-matrix",
+		Description: "Cache eviction policy crossed with RAM size: hit ratio and retry-timer share.",
+		Scenario:    ScenarioSpec{Seed: u64(12), Sessions: 2000, Prefixes: 400, Videos: 1500},
+		Axes: []Axis{
+			{Name: "cache_policy", Values: vals("lru", "lfu", "gd-size")},
+			{Name: "ram_gb", Values: vals(0.5, 2)},
+		},
+		Baseline: "cache_policy=lru,ram_gb=2",
+	},
+
+	// The old hardcoded cmd/sweep zipf factor, ported verbatim: same
+	// seed, same scale, same exponents. internal/experiment's parity
+	// test pins this preset's cells to the old construction.
+	"zipf-sweep": {
+		Name:        "zipf-sweep",
+		Description: "Popularity skew (Zipf exponent) vs cache behaviour; port of the old sweep -factor zipf.",
+		Scenario:    ScenarioSpec{Seed: u64(11), Sessions: 2000, Prefixes: 400, Videos: 1500},
+		Axes:        []Axis{{Name: "zipf_s", Values: vals(0.6, 0.8, 0.9, 1.0, 1.1)}},
+		Baseline:    "zipf_s=0.9",
+	},
+}
+
+// Preset returns a copy of the named built-in spec.
+func Preset(name string) (Spec, bool) {
+	s, ok := presets[name]
+	return s, ok
+}
+
+// Presets lists the built-in spec names, sorted.
+func Presets() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func u64(v uint64) *uint64 { return &v }
+
+// vals marshals literal axis values; a value json can't encode is a
+// programming error in the preset table, so it panics at init.
+func vals(vs ...any) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = b
+	}
+	return out
+}

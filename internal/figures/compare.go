@@ -1,0 +1,84 @@
+// compare.go renders A/B snapshot deltas (analysis.CompareSnapshots) as
+// a Result: the table cmd/analyze -compare prints and the per-cell delta
+// report cmd/sweep appends for each non-baseline cell of a campaign.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vidperf/internal/analysis"
+	"vidperf/internal/telemetry"
+)
+
+// StreamCompare diffs candidate b against baseline a. It is
+// informational (Pass is always true): a delta table has no paper shape
+// to verify, it is the evidence the comparative specs exist to produce.
+func StreamCompare(a, b *telemetry.Snapshot) Result {
+	cmp := analysis.CompareSnapshots(a, b)
+	r := Result{
+		ID:    "compare",
+		Title: "A/B snapshot delta (candidate vs baseline)",
+		Paper: "n/a — campaign delta report",
+		Measured: fmt.Sprintf("baseline %s vs candidate %s: %d shared metrics, %d counters",
+			snapshotLabel(cmp.LabelsA), snapshotLabel(cmp.LabelsB),
+			len(cmp.Metrics), len(cmp.Counters)),
+		Pass: true,
+	}
+
+	r.Lines = append(r.Lines, fmt.Sprintf("%-20s %5s %12s %12s %12s %9s",
+		"metric", "q", "baseline", "candidate", "delta", "delta%"))
+	for _, m := range cmp.Metrics {
+		if m.NA == 0 && m.NB == 0 {
+			continue
+		}
+		for _, qd := range m.Quantiles {
+			r.Lines = append(r.Lines, fmt.Sprintf("%-20s %5s %12.4g %12.4g %+12.4g %9s",
+				m.Name, fmt.Sprintf("p%02.0f", qd.Q*100), qd.A, qd.B, qd.Delta, pctOrDash(qd.RelDelta)))
+		}
+	}
+
+	r.Lines = append(r.Lines, "", fmt.Sprintf("%-26s %12s %12s %12s %9s",
+		"counter", "baseline", "candidate", "delta", "delta%"))
+	for _, c := range cmp.Counters {
+		r.Lines = append(r.Lines, fmt.Sprintf("%-26s %12d %12d %+12d %9s",
+			c.Name, c.A, c.B, c.Delta, pctOrDash(c.RelDelta)))
+	}
+	for _, rt := range cmp.Rates {
+		r.Lines = append(r.Lines, fmt.Sprintf("%-26s %12.4f %12.4f %+12.4f %9s",
+			rt.Name, rt.A, rt.B, rt.Delta, "-"))
+	}
+	return r
+}
+
+// snapshotLabel names one side of the comparison from its labels.
+func snapshotLabel(labels map[string]string) string {
+	if cell := labels["cell"]; cell != "" {
+		if spec := labels["spec"]; spec != "" {
+			return spec + "/" + cell
+		}
+		return cell
+	}
+	if len(labels) == 0 {
+		return "(unlabelled)"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func pctOrDash(rel float64) string {
+	if math.IsNaN(rel) || math.IsInf(rel, 0) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*rel)
+}

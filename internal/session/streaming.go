@@ -1,0 +1,21 @@
+package session
+
+import (
+	"vidperf/internal/telemetry"
+	"vidperf/internal/workload"
+)
+
+// RunTelemetry executes the scenario in streaming mode and returns the
+// merged campaign snapshot: one telemetry.Campaign supplies the per-PoP
+// accumulator sinks and the shards are merged in canonical PoP order, so
+// the snapshot is byte-identical at every Scenario.Parallelism setting.
+// sketchK is the quantile-sketch compaction parameter (<= 0 selects
+// telemetry.DefaultSketchK). This is the single-cell primitive both
+// cmd/vodsim -stream/-spec and the experiment campaign runner build on.
+func RunTelemetry(sc workload.Scenario, sketchK int) (*telemetry.Snapshot, error) {
+	camp := telemetry.NewCampaign(sketchK)
+	if err := RunWithSinks(sc, camp.Sink); err != nil {
+		return nil, err
+	}
+	return camp.Snapshot(), nil
+}

@@ -35,14 +35,11 @@ var metricNames = []string{
 // Counter names (see CounterSet for the dimensioned-key convention; the
 // dimensions in use are pop, cache, bitrate, and org).
 const (
-	CounterSessions           = "sessions"
+	CounterSessions           = "sessions" // also the base of _pop= / _org= keys
 	CounterSessionsNeverStart = "sessions_never_started"
-	CounterChunks             = "chunks"
+	CounterChunks             = "chunks" // also the base of _pop= / _cache= / _bitrate= keys
 	CounterChunksHit          = "chunks_hit"
 	CounterChunksRetryTimer   = "chunks_retry_timer"
-	counterSessionsBase       = "sessions" // + _pop= / _org=
-	counterChunksBase         = "chunks"   // + _pop= / _cache= / _bitrate=
-	counterChunksHitBase      = "chunks_hit"
 )
 
 // histogram shapes, shared by every accumulator so snapshots merge.
@@ -87,8 +84,8 @@ func NewAccumulator(k int) *Accumulator {
 // session and its chunks into the aggregates and retains nothing.
 func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRecord) {
 	a.counters.Inc(CounterSessions)
-	a.counters.Inc(IntDimKey(counterSessionsBase, "pop", s.PoP))
-	a.counters.Inc(DimKey(counterSessionsBase, "org", s.OrgType))
+	a.counters.Inc(IntDimKey(CounterSessions, "pop", s.PoP))
+	a.counters.Inc(DimKey(CounterSessions, "org", s.OrgType))
 	// StartupMS is NaN for sessions that never started playback; those go
 	// to a dedicated counter instead of the startup distribution.
 	if math.IsNaN(s.StartupMS) {
@@ -103,13 +100,13 @@ func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRe
 	for i := range chunks {
 		c := &chunks[i]
 		a.counters.Inc(CounterChunks)
-		a.counters.Inc(IntDimKey(counterChunksBase, "pop", s.PoP))
-		a.counters.Inc(DimKey(counterChunksBase, "cache", c.CacheLevel))
-		a.counters.Inc(IntDimKey(counterChunksBase, "bitrate", c.BitrateKbps))
+		a.counters.Inc(IntDimKey(CounterChunks, "pop", s.PoP))
+		a.counters.Inc(DimKey(CounterChunks, "cache", c.CacheLevel))
+		a.counters.Inc(IntDimKey(CounterChunks, "bitrate", c.BitrateKbps))
 		server := c.ServerLatencyMS()
 		if c.CacheHit {
 			a.counters.Inc(CounterChunksHit)
-			a.counters.Inc(IntDimKey(counterChunksHitBase, "pop", s.PoP))
+			a.counters.Inc(IntDimKey(CounterChunksHit, "pop", s.PoP))
 			a.sketches[MetricServerHitMS].Add(server)
 		} else {
 			a.sketches[MetricServerMissMS].Add(server)

@@ -20,12 +20,20 @@ const SnapshotSchema = 1
 // of the same campaign are byte-identical regardless of how many shards
 // ran concurrently.
 type Snapshot struct {
-	Schema     int                        `json:"schema"`
-	SketchK    int                        `json:"sketch_k"`
+	Schema  int `json:"schema"`
+	SketchK int `json:"sketch_k"`
+	// Labels carries free-form provenance (spec name, cell name, seed…)
+	// attached by campaign drivers. Maps marshal with sorted keys, so
+	// labels do not disturb snapshot determinism; they are ignored by the
+	// figure renderers and surfaced by cmd/analyze -compare.
+	Labels     map[string]string          `json:"labels,omitempty"`
 	Sketches   map[string]*QuantileSketch `json:"sketches"`
 	Histograms map[string]*Histogram      `json:"histograms"`
 	Counters   map[string]uint64          `json:"counters"`
 }
+
+// Label returns the named label ("" if absent).
+func (s *Snapshot) Label(name string) string { return s.Labels[name] }
 
 // Sketch returns the named sketch, or an empty one if the snapshot lacks
 // it, so consumers can render partial snapshots without nil checks.

@@ -65,7 +65,11 @@ type Scenario struct {
 	Parallelism int
 }
 
-func (s Scenario) withDefaults() Scenario {
+// WithDefaults returns the effective scenario with zero fields replaced
+// by their defaults — the values Build itself will simulate. Spec loaders
+// (internal/experiment) and tests use it to report or assert the
+// effective configuration without re-stating the default table.
+func (s Scenario) WithDefaults() Scenario {
 	if s.NumSessions == 0 {
 		s.NumSessions = 20000
 	}
@@ -141,7 +145,7 @@ type Population struct {
 // Build generates the population for sc. The same seed yields the same
 // population.
 func Build(sc Scenario) *Population {
-	sc = sc.withDefaults()
+	sc = sc.WithDefaults()
 	r := stats.NewRand(sc.Seed ^ 0xa5a5a5a5deadbeef)
 	pop := &Population{
 		Scenario: sc,
