@@ -7,6 +7,7 @@
 //	analyze -trace trace.jsonl [-only fig05,table4] [-max-rank 6000]
 //	analyze -snapshot snap.json [-only stream-cdn]
 //	analyze -compare baseline.json candidate.json
+//	analyze -diagnose snap.json
 //
 // With -snapshot the input is a telemetry snapshot from
 // cmd/vodsim -stream: the sketch-backed subset of the figures is rendered
@@ -17,8 +18,15 @@
 // With -compare two snapshots are diffed instead of rendered: the flag
 // value is the baseline, the positional argument the candidate, and the
 // output is the A/B delta table (quantile shifts per sketch metric,
-// counter movements, derived rates). This is how campaign cells produced
-// by cmd/sweep or vodsim -spec are contrasted after the fact.
+// counter movements, derived rates — including per-label cause-share
+// deltas when the snapshots carry diagnosis labels). This is how
+// campaign cells produced by cmd/sweep or vodsim -spec are contrasted
+// after the fact.
+//
+// With -diagnose the input must be a snapshot from a diagnosis-enabled
+// run (vodsim -stream -diagnose, or a spec with "diagnosis": true): the
+// per-layer cause-share table and per-label QoE sketches are rendered,
+// and the command fails unless every session carries exactly one label.
 package main
 
 import (
@@ -41,6 +49,7 @@ func main() {
 		trace    = flag.String("trace", "trace.jsonl", "input JSONL trace (from vodsim)")
 		snapshot = flag.String("snapshot", "", "input telemetry snapshot (from vodsim -stream); replaces -trace")
 		compare  = flag.String("compare", "", "baseline telemetry snapshot; diffs the positional candidate snapshot against it")
+		diagnose = flag.String("diagnose", "", "telemetry snapshot with diagnosis labels (from vodsim -stream -diagnose); renders the per-layer cause-share report")
 		only     = flag.String("only", "", "comma-separated figure IDs to render (default all)")
 		maxRank  = flag.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
 		filter   = flag.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis (trace mode only)")
@@ -57,13 +66,20 @@ func main() {
 		log.Fatal("invalid flags: -trace and -snapshot are mutually exclusive")
 	}
 	if *compare != "" {
-		if traceSet || *snapshot != "" {
-			log.Fatal("invalid flags: -compare excludes -trace and -snapshot")
+		if traceSet || *snapshot != "" || *diagnose != "" {
+			log.Fatal("invalid flags: -compare excludes -trace, -snapshot and -diagnose")
 		}
 		if flag.NArg() != 1 {
 			log.Fatalf("usage: analyze -compare baseline.json candidate.json (got %d candidates)", flag.NArg())
 		}
 		runCompare(*compare, flag.Arg(0))
+		return
+	}
+	if *diagnose != "" {
+		if traceSet || *snapshot != "" {
+			log.Fatal("invalid flags: -diagnose excludes -trace and -snapshot (it is a snapshot mode of its own)")
+		}
+		runDiagnose(*diagnose)
 		return
 	}
 
@@ -138,7 +154,33 @@ func runCompare(basePath, candPath string) {
 	log.Printf("baseline %s: %d sessions; candidate %s: %d sessions",
 		basePath, base.Counter(telemetry.CounterSessions),
 		candPath, cand.Counter(telemetry.CounterSessions))
-	fmt.Println(figures.StreamCompare(base, cand).Render())
+	fmt.Print(renderCompare(base, cand))
+}
+
+// renderCompare is the -compare output (a function of the two snapshots
+// alone, so the golden tests can pin the table bytes).
+func renderCompare(base, cand *telemetry.Snapshot) string {
+	return figures.StreamCompare(base, cand).Render() + "\n"
+}
+
+// runDiagnose loads a diagnosis-enabled snapshot and prints the
+// cause-share report. A snapshot without labels, or whose label counts
+// fail to cover every session, exits non-zero — the coverage invariant
+// is the report's integrity check.
+func runDiagnose(path string) {
+	sn := loadSnapshot(path)
+	log.Printf("loaded snapshot: %d sessions, %d chunks (k=%d)",
+		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks), sn.SketchK)
+	res := figures.StreamDiagnosis(sn)
+	fmt.Print(res.Render() + "\n")
+	if !res.Pass {
+		os.Exit(1)
+	}
+}
+
+// renderDiagnose is the -diagnose output (pinned by the golden tests).
+func renderDiagnose(sn *telemetry.Snapshot) string {
+	return figures.StreamDiagnosis(sn).Render() + "\n"
 }
 
 func loadSnapshot(path string) *telemetry.Snapshot {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vidperf/internal/diagnose"
+	"vidperf/internal/session"
+	"vidperf/internal/telemetry"
+	"vidperf/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenSnapshots builds the two fixture snapshots the golden tests
+// render: a warm and a cold diagnosed campaign at laptop scale. The
+// whole pipeline is deterministic (same seed ⇒ same snapshot ⇒ same
+// table bytes), which is what lets CLI output be golden-tested at all.
+func goldenSnapshots(t *testing.T) (warm, cold *telemetry.Snapshot) {
+	t.Helper()
+	build := func(coldStart bool) *telemetry.Snapshot {
+		sn, err := session.RunTelemetryOpts(workload.Scenario{
+			Seed: 5, NumSessions: 500, NumPrefixes: 120,
+			ColdStart: coldStart, Parallelism: 1,
+		}, session.TelemetryOptions{SketchK: 64, Diagnose: &diagnose.Config{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The labels RunCell would attach, pinned so the table header is
+		// stable.
+		name := "cold=false"
+		if coldStart {
+			name = "cold=true"
+		}
+		sn.Labels = map[string]string{"spec": "golden", "cell": name, "diagnosis": "on"}
+		return sn
+	}
+	return build(false), build(true)
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/analyze -run TestGolden -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output drifted from golden file;\n got:\n%s\nwant:\n%s\n(refresh intentionally with -update)",
+			name, got, want)
+	}
+}
+
+// TestGoldenDiagnose pins the analyze -diagnose cause-share table byte
+// for byte.
+func TestGoldenDiagnose(t *testing.T) {
+	warm, cold := goldenSnapshots(t)
+	checkGolden(t, "diagnose-warm.golden", renderDiagnose(warm))
+	checkGolden(t, "diagnose-cold.golden", renderDiagnose(cold))
+}
+
+// TestGoldenCompare pins the analyze -compare delta table — including
+// the diag_share_* cause-share rows — byte for byte.
+func TestGoldenCompare(t *testing.T) {
+	warm, cold := goldenSnapshots(t)
+	checkGolden(t, "compare-warm-cold.golden", renderCompare(warm, cold))
+}
+
+// TestDiagnoseCoverageInvariant: the rendered report passes exactly when
+// the label counts cover every session; stripping the labels must flip
+// it to a failing, noted result.
+func TestDiagnoseCoverageInvariant(t *testing.T) {
+	warm, _ := goldenSnapshots(t)
+	for key := range warm.Counters {
+		// Drop one label counter: coverage breaks.
+		if key == telemetry.DiagSessionsKey(diagnose.Healthy) {
+			delete(warm.Counters, key)
+		}
+	}
+	got := renderDiagnose(warm)
+	if !strings.Contains(got, "SHAPE MISMATCH") {
+		t.Errorf("report with missing label counts did not fail: %s", got)
+	}
+}

@@ -21,6 +21,13 @@
 // 10M+-session campaigns. -stream cannot be combined with the CSV exports
 // or -filter-proxies, which need the full joined dataset.
 //
+// With -stream -diagnose (or -spec ... -diagnose) every finished session
+// is additionally classified by internal/diagnose — which layer (server
+// cache/backend, network throughput/loss, client download stack, ABR)
+// dominated its problems — and the snapshot carries one session counter
+// and three QoE sketches per label. cmd/analyze -diagnose renders the
+// cause-share table from them.
+//
 // With -spec the scenario comes from a declarative experiment spec
 // (internal/experiment; see examples/specs/) instead of individual
 // flags:
@@ -43,6 +50,7 @@ import (
 
 	"vidperf/internal/catalog"
 	"vidperf/internal/core"
+	"vidperf/internal/diagnose"
 	"vidperf/internal/experiment"
 	"vidperf/internal/session"
 	"vidperf/internal/telemetry"
@@ -63,6 +71,7 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "max PoP shards simulated concurrently (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 		filterProxy = flag.Bool("filter-proxies", false, "apply the §3 proxy preprocessing before writing")
 		stream      = flag.Bool("stream", false, "streaming telemetry mode: aggregate into bounded-memory sketches and write a snapshot instead of a trace")
+		diagnoseF   = flag.Bool("diagnose", false, "classify every session's dominant bottleneck (internal/diagnose) during the streamed run; requires -stream or -spec")
 		spec        = flag.String("spec", "", "run a single-cell experiment spec (JSON, see examples/specs/) in streaming mode; replaces the scenario flags")
 		sketchK     = flag.Int("sketch-k", telemetry.DefaultSketchK, "quantile-sketch compaction parameter in -stream mode (error bound ≈ 4/k)")
 		out         = flag.String("out", "trace.jsonl", "output path (JSONL trace, or JSON snapshot with -stream)")
@@ -78,12 +87,12 @@ func main() {
 		if err := validateSpecFlags(set, *sketchK, flag.Args()); err != nil {
 			log.Fatalf("invalid flags: %v", err)
 		}
-		runSpec(*spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *out)
+		runSpec(*spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *diagnoseF, *out)
 		return
 	}
 
 	if err := validateFlags(*sessions, *prefixes, *videos, *parallel, *sketchK,
-		*stream, *filterProxy, *chunksCSV, *sessCSV, flag.Args()); err != nil {
+		*stream, *diagnoseF, *filterProxy, *chunksCSV, *sessCSV, flag.Args()); err != nil {
 		log.Fatalf("invalid flags: %v", err)
 	}
 
@@ -96,11 +105,11 @@ func main() {
 		ColdStart:   *cold,
 		Parallelism: *parallel,
 	}
-	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v, parallel=%d, stream=%v)",
-		*sessions, *seed, *abrName, *cold, *parallel, *stream)
+	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v, parallel=%d, stream=%v, diagnose=%v)",
+		*sessions, *seed, *abrName, *cold, *parallel, *stream, *diagnoseF)
 
 	if *stream {
-		runStreaming(sc, *sketchK, *out)
+		runStreaming(sc, *sketchK, *diagnoseF, *out)
 		return
 	}
 
@@ -143,7 +152,7 @@ func main() {
 // validateFlags rejects flag combinations that would otherwise silently
 // misbehave, before any simulation work starts.
 func validateFlags(sessions, prefixes, videos, parallel, sketchK int,
-	stream, filterProxy bool, chunksCSV, sessCSV string, extra []string) error {
+	stream, diagnose, filterProxy bool, chunksCSV, sessCSV string, extra []string) error {
 	if len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments %q (all options are flags)", extra)
 	}
@@ -169,6 +178,8 @@ func validateFlags(sessions, prefixes, videos, parallel, sketchK int,
 		if filterProxy {
 			return fmt.Errorf("-filter-proxies needs the full joined dataset; it is unavailable with -stream")
 		}
+	} else if diagnose {
+		return fmt.Errorf("-diagnose classifies sessions inside the streaming aggregator; combine it with -stream (or -spec)")
 	}
 	return nil
 }
@@ -178,6 +189,7 @@ func validateFlags(sessions, prefixes, videos, parallel, sketchK int,
 var specOverridableFlags = map[string]bool{
 	"spec": true, "out": true, "parallel": true, "seed": true,
 	"sessions": true, "prefixes": true, "videos": true, "sketch-k": true,
+	"diagnose": true,
 }
 
 // validateSpecFlags rejects flag combinations that contradict spec mode:
@@ -189,7 +201,7 @@ func validateSpecFlags(set map[string]bool, sketchK int, extra []string) error {
 	}
 	for name := range set {
 		if !specOverridableFlags[name] {
-			return fmt.Errorf("-%s cannot be combined with -spec (the spec defines the scenario; only -out/-parallel/-seed/-sessions/-prefixes/-videos/-sketch-k override)", name)
+			return fmt.Errorf("-%s cannot be combined with -spec (the spec defines the scenario; only -out/-parallel/-seed/-sessions/-prefixes/-videos/-sketch-k/-diagnose override)", name)
 		}
 	}
 	if set["sketch-k"] && sketchK < 8 {
@@ -200,9 +212,11 @@ func validateSpecFlags(set map[string]bool, sketchK int, extra []string) error {
 
 // runSpec executes a single-cell experiment spec in streaming mode,
 // applying any explicitly-set override flags, and writes the labelled
-// snapshot to out.
+// snapshot to out. -diagnose turns diagnosis on even when the spec
+// leaves it off (it is an output toggle, so the simulated world — and
+// every non-diagnosis byte of the snapshot state — is unchanged).
 func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
-	seed uint64, parallel, sketchK int, out string) {
+	seed uint64, parallel, sketchK int, diagnose bool, out string) {
 	sp, err := experiment.LoadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -233,6 +247,9 @@ func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
 	if set["sketch-k"] {
 		sp.SketchK = sketchK
 	}
+	if diagnose {
+		sp.Diagnosis = true
+	}
 	sc := cell.Scenario.WithDefaults()
 	log.Printf("spec %s cell %s: %d sessions (seed=%d, abr=%s, parallel=%d)",
 		sp.Name, cell.Name, sc.NumSessions, sc.Seed, sc.ABRName, cell.Scenario.Parallelism)
@@ -254,8 +271,12 @@ func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
 
 // runStreaming executes the campaign through per-shard telemetry
 // accumulators and writes the merged snapshot.
-func runStreaming(sc workload.Scenario, sketchK int, out string) {
-	sn, err := session.RunTelemetry(sc, sketchK)
+func runStreaming(sc workload.Scenario, sketchK int, diag bool, out string) {
+	opt := session.TelemetryOptions{SketchK: sketchK}
+	if diag {
+		opt.Diagnose = &diagnose.Config{}
+	}
+	sn, err := session.RunTelemetryOpts(sc, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

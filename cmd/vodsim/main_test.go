@@ -9,7 +9,16 @@ func TestValidateFlags(t *testing.T) {
 	ok := func(sessions, prefixes, videos, parallel, sketchK int,
 		stream, filterProxy bool, chunksCSV, sessCSV string, extra []string) error {
 		return validateFlags(sessions, prefixes, videos, parallel, sketchK,
-			stream, filterProxy, chunksCSV, sessCSV, extra)
+			stream, false, filterProxy, chunksCSV, sessCSV, extra)
+	}
+	// -diagnose rides the streaming aggregator: fine with -stream, an
+	// error in batch mode.
+	if err := validateFlags(100, 50, 50, 0, 256, true, true, false, "", "", nil); err != nil {
+		t.Fatalf("-stream -diagnose rejected: %v", err)
+	}
+	if err := validateFlags(100, 50, 50, 0, 256, false, true, false, "", "", nil); err == nil ||
+		!strings.Contains(err.Error(), "-diagnose") {
+		t.Fatalf("batch -diagnose: want -diagnose error, got %v", err)
 	}
 	if err := ok(100, 50, 50, 0, 256, false, false, "", "", nil); err != nil {
 		t.Fatalf("valid batch flags rejected: %v", err)
@@ -59,7 +68,7 @@ func TestValidateSpecFlags(t *testing.T) {
 	if err := validateSpecFlags(set(), 256, nil); err != nil {
 		t.Errorf("bare -spec rejected: %v", err)
 	}
-	if err := validateSpecFlags(set("out", "parallel", "seed", "sessions", "prefixes", "videos", "sketch-k"), 256, nil); err != nil {
+	if err := validateSpecFlags(set("out", "parallel", "seed", "sessions", "prefixes", "videos", "sketch-k", "diagnose"), 256, nil); err != nil {
 		t.Errorf("override flags rejected: %v", err)
 	}
 	// Scenario-defining flags must not fight the spec.

@@ -111,6 +111,23 @@ func CompareSnapshots(a, b *telemetry.Snapshot) SnapshotComparison {
 		rateDelta("retry_timer_share", a, b, telemetry.CounterChunksRetryTimer, telemetry.CounterChunks),
 		rateDelta("never_started_share", a, b, telemetry.CounterSessionsNeverStart, telemetry.CounterSessions),
 	)
+
+	// Cause-share deltas: when either side carries diagnosis labels, diff
+	// every label's share of sessions, so A/B campaign cells can report
+	// which layer a knob change moved sessions into (flash-crowd cells
+	// shifting from healthy to cache-miss-fetch, for instance).
+	da, db := StreamDiagnosis(a), StreamDiagnosis(b)
+	if da.Enabled() || db.Enabled() {
+		for i, ra := range da.Rows {
+			rb := db.Rows[i]
+			out.Rates = append(out.Rates, RateDelta{
+				Name:  "diag_share_" + string(ra.Label),
+				A:     ra.Share,
+				B:     rb.Share,
+				Delta: rb.Share - ra.Share,
+			})
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,79 @@
+// diagnosis.go extracts the per-session root-cause view from a telemetry
+// snapshot: the share of sessions charged to each layer label
+// (internal/diagnose) and the per-label QoE sketches. It is the analysis
+// behind cmd/analyze -diagnose and mirrors the paper's §5–§6 structure —
+// distributions per problem class instead of one campaign-wide blur.
+package analysis
+
+import (
+	"vidperf/internal/diagnose"
+	"vidperf/internal/telemetry"
+)
+
+// LabelShare is one diagnosis label's row of the cause-share table.
+type LabelShare struct {
+	Label    diagnose.Label
+	Sessions uint64
+	Share    float64 // Sessions / total labelled sessions
+
+	// Per-label QoE sketches (startup in ms over started sessions,
+	// re-buffering ratio, session average bitrate in kbps).
+	Startup      *telemetry.QuantileSketch
+	RebufferRate *telemetry.QuantileSketch
+	Bitrate      *telemetry.QuantileSketch
+}
+
+// StreamingDiagnosis is the snapshot-level diagnosis report: every label
+// in canonical order plus the coverage invariant inputs (labelled counts
+// are exact counters, so Labelled == Sessions whenever the snapshot was
+// produced with diagnosis enabled).
+type StreamingDiagnosis struct {
+	Sessions uint64 // total sessions in the snapshot
+	Labelled uint64 // sessions carrying a diagnosis label
+	Rows     []LabelShare
+}
+
+// Enabled reports whether the snapshot carries any diagnosis state at
+// all (a snapshot from a run without -diagnose has none).
+func (d StreamingDiagnosis) Enabled() bool { return d.Labelled > 0 }
+
+// DegradedShare returns the fraction of labelled sessions whose label is
+// neither healthy nor abr-limited — the sessions some layer actually
+// hurt.
+func (d StreamingDiagnosis) DegradedShare() float64 {
+	if d.Labelled == 0 {
+		return 0
+	}
+	var ok uint64
+	for _, r := range d.Rows {
+		if r.Label == diagnose.Healthy || r.Label == diagnose.ABRLimited {
+			ok += r.Sessions
+		}
+	}
+	return float64(d.Labelled-ok) / float64(d.Labelled)
+}
+
+// StreamDiagnosis extracts the cause-share table from a snapshot. Rows
+// come back in diagnose.Labels() order with exact counter-backed counts;
+// labels no session received keep zero rows so reports are shaped
+// identically across cells.
+func StreamDiagnosis(sn *telemetry.Snapshot) StreamingDiagnosis {
+	out := StreamingDiagnosis{Sessions: sn.Counter(telemetry.CounterSessions)}
+	for _, l := range diagnose.Labels() {
+		row := LabelShare{
+			Label:        l,
+			Sessions:     sn.Counter(telemetry.DiagSessionsKey(l)),
+			Startup:      sn.Sketch(telemetry.DiagSketchKey(telemetry.MetricStartupMS, l)),
+			RebufferRate: sn.Sketch(telemetry.DiagSketchKey(telemetry.MetricRebufferRate, l)),
+			Bitrate:      sn.Sketch(telemetry.DiagSketchKey(telemetry.MetricAvgBitrateKbps, l)),
+		}
+		out.Labelled += row.Sessions
+		out.Rows = append(out.Rows, row)
+	}
+	for i := range out.Rows {
+		if out.Labelled > 0 {
+			out.Rows[i].Share = float64(out.Rows[i].Sessions) / float64(out.Labelled)
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// diagnosis_test.go tests the §4.3 detection methods directly (they were
+// previously covered only through the session-level analyses): the Eq. 4
+// minChunks floor boundary and the Eq. 5 lower bound's monotonicity and
+// clamping behaviour.
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vidperf/internal/stats"
+	"vidperf/internal/tcpmodel"
+)
+
+// stackSession builds n baseline chunks with the Fig. 17 stack-buffering
+// signature injected at index outlierAt (pass -1 for none).
+func stackSession(n, outlierAt int) []ChunkRecord {
+	r := stats.NewRand(9)
+	chunks := make([]ChunkRecord, n)
+	for i := range chunks {
+		c := sampleChunk()
+		c.ChunkID = i
+		c.DFBms = 140 + r.Uniform(0, 20)
+		c.DLBms = 1900 + r.Uniform(0, 200)
+		chunks[i] = c
+	}
+	if outlierAt >= 0 {
+		chunks[outlierAt].DFBms = 2600
+		chunks[outlierAt].DLBms = 40
+	}
+	return chunks
+}
+
+// TestDetectStackOutliersMinChunksBoundary pins the minChunks floor and
+// the statistical floor right above it. Below 5 chunks the method
+// returns early. At exactly 5 the screen runs but a single outlier is
+// mathematically undetectable: against the population σ the method uses,
+// one extreme point's z-score is bounded by √(n−1), which is exactly the
+// 2σ threshold at n = 5 — the screen is conservative by construction at
+// the floor. From 6 chunks (√5 ≈ 2.24 > 2) a lone outlier is caught.
+func TestDetectStackOutliersMinChunksBoundary(t *testing.T) {
+	if got := DetectStackOutliers(stackSession(4, 2)); len(got.Outliers) != 0 {
+		t.Fatalf("4 chunks: outliers = %v, want none (below the minChunks floor)", got.Outliers)
+	}
+	if got := DetectStackOutliers(stackSession(5, 2)); len(got.Outliers) != 0 {
+		t.Fatalf("5 chunks: outliers = %v, want none (single outlier z ≤ 2 at n = 5)", got.Outliers)
+	}
+	got := DetectStackOutliers(stackSession(6, 2))
+	if len(got.Outliers) != 1 || got.Outliers[0] != 2 {
+		t.Fatalf("6 chunks: outliers = %v, want [2]", got.Outliers)
+	}
+}
+
+// TestDetectStackOutliersEmptyAndNil: degenerate sessions return an
+// empty report, never panic.
+func TestDetectStackOutliersEmptyAndNil(t *testing.T) {
+	if got := DetectStackOutliers(nil); len(got.Outliers) != 0 {
+		t.Error("nil chunks produced outliers")
+	}
+	if got := DetectStackOutliers([]ChunkRecord{}); len(got.Outliers) != 0 {
+		t.Error("empty chunks produced outliers")
+	}
+}
+
+// TestDetectStackOutliersUniformSession: with no extreme chunk, nothing
+// is flagged (every chunk sits within 2σ of the session's own baseline).
+func TestDetectStackOutliersUniformSession(t *testing.T) {
+	if got := DetectStackOutliers(stackSession(20, -1)); len(got.Outliers) != 0 {
+		t.Fatalf("uniform session flagged %v", got.Outliers)
+	}
+}
+
+// ddsChunk builds a chunk whose Eq. 5 terms are all explicit.
+func ddsChunk(dfb, dcdn, dbe, srtt, srttVar float64) ChunkRecord {
+	return ChunkRecord{
+		DFBms: dfb, DreadMS: dcdn, DBEms: dbe,
+		SRTTms: srtt, SRTTVarMS: srttVar,
+	}
+}
+
+// TestEstimateDDSLowerBoundMonotone: the bound is monotone in every
+// term — nonincreasing in each subtracted latency (D_CDN, D_BE, srtt,
+// srttvar) and nondecreasing in D_FB — across a grid of values.
+func TestEstimateDDSLowerBoundMonotone(t *testing.T) {
+	base := ddsChunk(2000, 10, 50, 60, 8)
+	prev := EstimateDDSms(base)
+	if prev <= 0 {
+		t.Fatalf("base estimate %v, want > 0", prev)
+	}
+	// Nondecreasing in D_FB.
+	last := -1.0
+	for dfb := 300.0; dfb <= 3000; dfb += 100 {
+		got := EstimateDDSms(ddsChunk(dfb, 10, 50, 60, 8))
+		if got < last {
+			t.Fatalf("DDS not nondecreasing in DFB: f(%v) = %v < %v", dfb, got, last)
+		}
+		last = got
+	}
+	// Nonincreasing in each subtracted term.
+	sweep := func(name string, f func(v float64) ChunkRecord) {
+		last := math.Inf(1)
+		for v := 0.0; v <= 1200; v += 50 {
+			got := EstimateDDSms(f(v))
+			if got > last {
+				t.Fatalf("DDS not nonincreasing in %s: f(%v) = %v > %v", name, v, got, last)
+			}
+			if got < 0 {
+				t.Fatalf("DDS went negative in %s sweep: %v", name, got)
+			}
+			last = got
+		}
+	}
+	sweep("DCDN", func(v float64) ChunkRecord { return ddsChunk(2000, v, 50, 60, 8) })
+	sweep("DBE", func(v float64) ChunkRecord { return ddsChunk(2000, 10, v, 60, 8) })
+	sweep("srtt", func(v float64) ChunkRecord { return ddsChunk(2000, 10, 50, v, 8) })
+	sweep("srttvar", func(v float64) ChunkRecord { return ddsChunk(2000, 10, 50, 60, v) })
+}
+
+// TestEstimateDDSClampsAndExactValue: the bound clamps at zero (no
+// negative stack latency) and matches the Eq. 5 arithmetic when
+// positive; NaN inputs clamp instead of propagating.
+func TestEstimateDDSClampsAndExactValue(t *testing.T) {
+	c := ddsChunk(2000, 10, 50, 60, 8)
+	want := 2000 - 10 - 50 - tcpmodel.RTOPaperms(60, 8)
+	if got := EstimateDDSms(c); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("DDS = %v, want %v", got, want)
+	}
+	// Fast chunk: everything accounted for, bound clamps to zero.
+	if got := EstimateDDSms(ddsChunk(100, 10, 50, 60, 8)); got != 0 {
+		t.Fatalf("fast chunk DDS = %v, want 0", got)
+	}
+	// NaN first-byte delay must not leak NaN into aggregates.
+	if got := EstimateDDSms(ddsChunk(math.NaN(), 10, 50, 60, 8)); got != 0 {
+		t.Fatalf("NaN DFB DDS = %v, want 0", got)
+	}
+}

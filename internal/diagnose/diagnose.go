@@ -1,0 +1,258 @@
+// Package diagnose answers the paper's headline question for every
+// finished session: which layer hurt it? It classifies each session's
+// dominant bottleneck into one of seven labels, combining the §4.3
+// detection methods already in internal/core (the Eq. 4 download-stack
+// outlier screen and the Eq. 5 persistent-stack bound) with threshold
+// rules over the joined per-chunk CDN and TCP fields.
+//
+// The label taxonomy mirrors the paper's §4–§6 structure:
+//
+//   - cache-miss-fetch: server layer, §4.1 / Fig. 5 — the session's slow
+//     chunks were cache misses whose backend fetch (D_BE) dominated the
+//     server latency; the cache, not the origin, is the problem.
+//   - backend-latency: server layer, §4.1 / Fig. 5's retry-timer mode —
+//     slow chunks spent their server time in the CDN's own service path
+//     (D_wait queueing, D_open/D_read including the ATS open-read retry
+//     timer) or in abnormally slow backend fetches.
+//   - network-throughput: network layer, §4.2 / Figs. 7–10 — delivery
+//     time is dominated by the path (self-loading, long RTT, enterprise
+//     egress), with no loss or stack evidence.
+//   - network-loss: network layer, §4.2 / Figs. 11–13 — slow chunks
+//     carried retransmissions above the loss threshold.
+//   - client-stack: client layer, §4.3 / Figs. 16–17 — chunks flagged by
+//     the Eq. 4 outlier screen or with an Eq. 5 lower bound above the
+//     configured floor; the download stack buffered data the player
+//     blamed on the network.
+//   - abr-limited: §4.4 / Fig. 19 — the session played smoothly but the
+//     adaptation algorithm left bitrate on the table (average bitrate
+//     below the configured share of the ladder top with no stalls).
+//   - healthy: none of the above; startup, re-buffering and bitrate all
+//     within thresholds.
+//
+// Classification is a pure function of (SessionRecord, []ChunkRecord,
+// Config): no randomness, no global state, map-free iteration — the same
+// inputs always yield the same label, which is what lets the streaming
+// telemetry path count labels byte-identically at any shard parallelism.
+package diagnose
+
+import (
+	"math"
+
+	"vidperf/internal/core"
+)
+
+// Label names one diagnosed bottleneck layer.
+type Label string
+
+// The seven diagnosis labels, from the server outward to the client.
+const (
+	CacheMissFetch    Label = "cache-miss-fetch"
+	BackendLatency    Label = "backend-latency"
+	NetworkThroughput Label = "network-throughput"
+	NetworkLoss       Label = "network-loss"
+	ClientStack       Label = "client-stack"
+	ABRLimited        Label = "abr-limited"
+	Healthy           Label = "healthy"
+)
+
+// Labels returns every label in canonical report order. Telemetry
+// accumulators iterate this slice (never a map) when building per-label
+// state, so merged snapshots are reproducible.
+func Labels() []Label {
+	return []Label{
+		CacheMissFetch, BackendLatency, NetworkThroughput,
+		NetworkLoss, ClientStack, ABRLimited, Healthy,
+	}
+}
+
+// Config holds the classifier thresholds. The zero value of every field
+// selects the documented default, so Config{} is the standard classifier.
+type Config struct {
+	// StartupDegradedMS marks a session degraded when its startup delay
+	// exceeds this (default 10000 ms ≈ 1.7× the default 6 s buffering
+	// threshold). Sessions that never started playback (NaN startup) are
+	// always degraded.
+	StartupDegradedMS float64
+
+	// RebufferDegraded marks a session degraded when its re-buffering
+	// ratio (fraction of session time stalled) exceeds this (default
+	// 0.01 — the paper reports re-buffering as rare, so 1% is already an
+	// outlier).
+	RebufferDegraded float64
+
+	// LadderTopKbps is the top rung of the encoding ladder (default 3000,
+	// the paper's §3 ladder) used by the abr-limited screen.
+	LadderTopKbps float64
+
+	// ABRLowShare: a smooth session whose average bitrate is below this
+	// share of LadderTopKbps is abr-limited rather than healthy
+	// (default 0.5).
+	ABRLowShare float64
+
+	// LossRate is the per-chunk retransmission-rate threshold above which
+	// a slow chunk is charged to network loss (default 0.05).
+	LossRate float64
+
+	// DDSBoundMS charges a slow chunk to the client stack when its Eq. 5
+	// lower bound on download-stack latency exceeds this (default 150 ms,
+	// well past one RTO of slack the bound already subtracts).
+	DDSBoundMS float64
+
+	// ServerShare charges a slow chunk to the server when the server-side
+	// latency D_CDN + D_BE makes up at least this share of the chunk's
+	// total delivery time D_FB + D_LB (default 0.3).
+	ServerShare float64
+}
+
+// WithDefaults returns the config with zero fields replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.StartupDegradedMS == 0 {
+		c.StartupDegradedMS = 10000
+	}
+	if c.RebufferDegraded == 0 {
+		c.RebufferDegraded = 0.01
+	}
+	if c.LadderTopKbps == 0 {
+		c.LadderTopKbps = 3000
+	}
+	if c.ABRLowShare == 0 {
+		c.ABRLowShare = 0.5
+	}
+	if c.LossRate == 0 {
+		c.LossRate = 0.05
+	}
+	if c.DDSBoundMS == 0 {
+		c.DDSBoundMS = 150
+	}
+	if c.ServerShare == 0 {
+		c.ServerShare = 0.3
+	}
+	return c
+}
+
+// Diagnosis is one session's classification with the evidence counts the
+// vote was decided on (tests and reports read these; the streaming path
+// keeps only Label).
+type Diagnosis struct {
+	Label Label
+
+	// Degraded reports whether the session failed the QoE screen (the
+	// healthy/abr-limited labels mean it did not).
+	Degraded bool
+
+	// SlowChunks is how many chunks entered the layer vote.
+	SlowChunks int
+
+	// Per-layer chunk votes (ServerSlow = MissFetchSlow + BackendSlow).
+	MissFetchSlow  int
+	BackendSlow    int
+	ThroughputSlow int
+	LossSlow       int
+	StackSlow      int
+}
+
+// ServerSlow returns the combined server-layer vote.
+func (d Diagnosis) ServerSlow() int { return d.MissFetchSlow + d.BackendSlow }
+
+// Classify labels one finished session. chunks must be the session's
+// records in ChunkID order (the order every core.RecordSink receives).
+func Classify(s core.SessionRecord, chunks []core.ChunkRecord, cfg Config) Diagnosis {
+	cfg = cfg.WithDefaults()
+	var d Diagnosis
+
+	d.Degraded = math.IsNaN(s.StartupMS) ||
+		s.StartupMS > cfg.StartupDegradedMS ||
+		s.RebufferRate > cfg.RebufferDegraded
+	if !d.Degraded {
+		if s.AvgBitrateKbps < cfg.ABRLowShare*cfg.LadderTopKbps {
+			d.Label = ABRLimited
+		} else {
+			d.Label = Healthy
+		}
+		return d
+	}
+
+	// Eq. 4 runs once per session: outlier membership feeds the per-chunk
+	// layer rule below.
+	outlier := make([]bool, len(chunks))
+	for _, i := range core.DetectStackOutliers(chunks).Outliers {
+		outlier[i] = true
+	}
+
+	// Vote over the slow chunks — the ones that drained the buffer
+	// (Eq. 2 score < 1) or had a stall charged to them.
+	voted := false
+	for i := range chunks {
+		c := &chunks[i]
+		if c.PerfScore() < 1 || c.BufCount > 0 {
+			d.voteChunk(c, outlier[i], cfg)
+			voted = true
+		}
+	}
+	if !voted {
+		// Degraded with no individually-slow chunk (e.g. a slow first
+		// chunk below the score threshold, or a truncated session): vote
+		// over everything the session fetched.
+		for i := range chunks {
+			d.voteChunk(&chunks[i], outlier[i], cfg)
+		}
+	}
+
+	d.Label = d.resolve()
+	return d
+}
+
+// voteChunk charges one chunk to a layer. Rule order is fixed — stack and
+// loss have direct evidence, the server split needs the latency
+// decomposition, and throughput is the residual network explanation.
+func (d *Diagnosis) voteChunk(c *core.ChunkRecord, stackOutlier bool, cfg Config) {
+	d.SlowChunks++
+	switch {
+	case stackOutlier || core.EstimateDDSms(*c) > cfg.DDSBoundMS:
+		d.StackSlow++
+	case c.LossRate() > cfg.LossRate:
+		d.LossSlow++
+	case c.ServerLatencyMS() >= cfg.ServerShare*(c.DFBms+c.DLBms):
+		// Server layer; split by which server component dominated. A miss
+		// whose backend fetch is at least the CDN's own service time is
+		// the cost of the miss itself; everything else (queueing, disk
+		// reads, the open-read retry timer, slow hits) is the server's
+		// own latency.
+		if !c.CacheHit && c.DBEms >= c.DCDNms() {
+			d.MissFetchSlow++
+		} else {
+			d.BackendSlow++
+		}
+	default:
+		d.ThroughputSlow++
+	}
+}
+
+// resolve picks the winning layer. Ties break in evidence-specificity
+// order — stack (Eq. 4/5 are the most specific detectors), then loss
+// (direct retransmission counts), then the server decomposition, then
+// throughput as the residual — so classification never depends on
+// iteration order.
+func (d *Diagnosis) resolve() Label {
+	if d.SlowChunks == 0 {
+		// Degraded without a single fetched chunk: nothing ever arrived,
+		// which is network territory by elimination.
+		return NetworkThroughput
+	}
+	best, n := ClientStack, d.StackSlow
+	if d.LossSlow > n {
+		best, n = NetworkLoss, d.LossSlow
+	}
+	if server := d.ServerSlow(); server > n {
+		n = server
+		if d.MissFetchSlow >= d.BackendSlow {
+			best = CacheMissFetch
+		} else {
+			best = BackendLatency
+		}
+	}
+	if d.ThroughputSlow > n {
+		best = NetworkThroughput
+	}
+	return best
+}

@@ -14,6 +14,12 @@
 // and replayed by cmd/sweep, cmd/vodsim -spec, and cmd/analyze -compare
 // instead of living as hardcoded Go.
 //
+// A spec with "diagnosis": true additionally classifies every session's
+// dominant bottleneck (internal/diagnose) during the run: cell snapshots
+// then carry per-label cause counters and QoE sketches, and the A/B
+// delta report includes per-label cause-share rows — campaigns can
+// assert why a cell degraded, not just that it did.
+//
 // Determinism: a cell's snapshot depends only on its scenario (seed
 // included) and sketch parameter — never on how many cells ran
 // concurrently or in what order — because each cell is an independent

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeSpec throws arbitrary bytes at the strict spec decoder. The
+// contract under fuzzing: Load either returns an error or a spec that
+// validates and expands — never a panic, and never a half-parsed spec
+// that fails later in the pipeline. (The strict decoding rules — unknown
+// fields, unknown axes, trailing garbage, bad schema — are each pinned
+// by example in spec_test.go; the fuzzer hunts for inputs that dodge all
+// of them.)
+func FuzzDecodeSpec(f *testing.F) {
+	// Seed with every shipped spec file (the valid shapes) plus the
+	// malformed shapes the strict decoder exists to reject.
+	files, err := filepath.Glob("../../examples/specs/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range files {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, s := range []string{
+		``,
+		`{}`,
+		`null`,
+		`{"name":"x"}`,
+		`{"name":"x","schema":99}`,
+		`{"name":"x","session":100}`, // typo'd field
+		`{"name":"x","axes":[{"name":"nope","values":[1]}]}`,            // unknown axis
+		`{"name":"x","axes":[{"name":"abr","values":["hybrid"]}]} true`, // trailing garbage
+		`{"name":"x","preset":"no-such-preset"}`,
+		`{"preset":"paper-baseline"}`,
+		`{"name":"x","seed_mode":"banana"}`,
+		`{"name":"x","sketch_k":3}`,
+		`{"name":"x","diagnosis":true}`,
+		`{"name":"x","axes":[{"name":"cold","values":[false,true]},{"name":"cold","values":[true]}]}`,
+		`{"name":"x","baseline":"missing-cell"}`,
+		`{"name":"x","scenario":{"seed":18446744073709551615}}`,
+		`{"name":"x","scenario":{"bitrates":[235,3000]},"axes":[{"name":"zipf_s","values":[0.6,1.1]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking or half-parsing is not
+		}
+		if sp.Name == "" {
+			t.Fatalf("Load accepted a nameless spec from %q", data)
+		}
+		if sp.Schema != SpecSchema {
+			t.Fatalf("Load returned schema %d from %q", sp.Schema, data)
+		}
+		cells, err := sp.Expand()
+		if err != nil {
+			t.Fatalf("loaded spec fails to expand: %v (input %q)", err, data)
+		}
+		if len(cells) == 0 {
+			t.Fatalf("loaded spec expands to zero cells (input %q)", data)
+		}
+		if sp.BaselineIndex(cells) < 0 {
+			t.Fatalf("loaded spec has no baseline cell (input %q)", data)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 
+	"vidperf/internal/diagnose"
 	"vidperf/internal/session"
 	"vidperf/internal/telemetry"
 )
@@ -126,7 +127,11 @@ feed:
 // RunCell executes one cell and, when outDir is non-empty, writes its
 // labelled snapshot to outDir/Cell.FileName().
 func RunCell(spec *Spec, cell Cell, outDir string) (CellResult, error) {
-	sn, err := session.RunTelemetry(cell.Scenario, spec.EffectiveSketchK())
+	opt := session.TelemetryOptions{SketchK: spec.EffectiveSketchK()}
+	if spec.Diagnosis {
+		opt.Diagnose = &diagnose.Config{}
+	}
+	sn, err := session.RunTelemetryOpts(cell.Scenario, opt)
 	if err != nil {
 		return CellResult{Cell: cell}, err
 	}
@@ -134,6 +139,9 @@ func RunCell(spec *Spec, cell Cell, outDir string) (CellResult, error) {
 		"spec": spec.Name,
 		"cell": cell.Name,
 		"seed": strconv.FormatUint(cell.Scenario.Seed, 10),
+	}
+	if spec.Diagnosis {
+		sn.Labels["diagnosis"] = "on"
 	}
 	for name, value := range cell.Axes {
 		sn.Labels["axis:"+name] = value

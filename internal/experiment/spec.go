@@ -55,6 +55,14 @@ type Spec struct {
 	// SeedMode is SeedShared (default) or SeedPerCell.
 	SeedMode string `json:"seed_mode,omitempty"`
 
+	// Diagnosis, when true, classifies every session's dominant
+	// bottleneck (internal/diagnose) during the streamed run, so each
+	// cell's snapshot carries per-label cause counters and QoE sketches
+	// — the campaign can then report *why* a cell degraded, not just
+	// that it did. It is an output toggle, not a scenario knob: the
+	// simulated world is identical either way.
+	Diagnosis bool `json:"diagnosis,omitempty"`
+
 	// Axes are crossed into the cell grid in declaration order (first
 	// axis slowest). A spec with no axes is a single cell named "base".
 	Axes []Axis `json:"axes,omitempty"`
@@ -273,6 +281,9 @@ func Load(r io.Reader) (*Spec, error) {
 		if s.SeedMode != "" {
 			merged.SeedMode = s.SeedMode
 		}
+		if s.Diagnosis {
+			merged.Diagnosis = true
+		}
 		if len(s.Axes) != 0 {
 			merged.Axes = s.Axes
 		}
@@ -281,6 +292,8 @@ func Load(r io.Reader) (*Spec, error) {
 		}
 		merged.Scenario = base.Scenario.merge(s.Scenario)
 		s = merged
+		// The preset literal carries schema 0; the loaded spec must not.
+		s.Schema = SpecSchema
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -111,7 +111,46 @@ func StreamMix(sn *telemetry.Snapshot) Result {
 	return r
 }
 
-// AllStreaming renders every sketch-backed figure from a snapshot.
+// StreamDiagnosis renders the per-session root-cause report: the share
+// of sessions charged to each layer label (internal/diagnose) and the
+// per-label QoE sketches — the paper's §5–§6 "which layer hurt this
+// session?" breakdown at campaign scale. The coverage invariant is the
+// pass condition: every session must carry exactly one label, so the
+// label counts must sum to the campaign's session count.
+func StreamDiagnosis(sn *telemetry.Snapshot) Result {
+	return streamDiagnosisResult(analysis.StreamDiagnosis(sn))
+}
+
+func streamDiagnosisResult(d analysis.StreamingDiagnosis) Result {
+	r := Result{
+		ID:    "stream-diagnosis",
+		Title: "Per-session root-cause attribution (diagnosis labels)",
+		Paper: "§5-§6: per-layer problem classes — server (cache/backend), network (throughput/loss), client stack, ABR",
+		Measured: fmt.Sprintf("sessions=%d labelled=%d degraded share=%s",
+			d.Sessions, d.Labelled, pct(d.DegradedShare())),
+	}
+	r.Lines = append(r.Lines, fmt.Sprintf("%-20s %9s %8s %14s %12s %14s",
+		"label", "sessions", "share", "startup p50", "rebuf p90", "bitrate p50"))
+	for _, row := range d.Rows {
+		r.Lines = append(r.Lines, fmt.Sprintf("%-20s %9d %8s %14.3g %12.4g %14.4g",
+			row.Label, row.Sessions, pct(row.Share),
+			row.Startup.Quantile(0.5), row.RebufferRate.Quantile(0.9),
+			row.Bitrate.Quantile(0.5)))
+	}
+	r.Pass = d.Enabled() && d.Labelled == d.Sessions
+	if !d.Enabled() {
+		r.Note = "snapshot carries no diagnosis labels (re-run with -diagnose or a diagnosis-enabled spec)"
+	}
+	return r
+}
+
+// AllStreaming renders every sketch-backed figure from a snapshot. The
+// diagnosis report joins the set only when the snapshot carries labels,
+// so plain -stream snapshots render exactly as before.
 func AllStreaming(sn *telemetry.Snapshot) []Result {
-	return []Result{StreamCDN(sn), StreamMix(sn), StreamQoE(sn)}
+	out := []Result{StreamCDN(sn), StreamMix(sn), StreamQoE(sn)}
+	if d := analysis.StreamDiagnosis(sn); d.Enabled() {
+		out = append(out, streamDiagnosisResult(d))
+	}
+	return out
 }

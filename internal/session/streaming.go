@@ -1,9 +1,22 @@
 package session
 
 import (
+	"vidperf/internal/diagnose"
 	"vidperf/internal/telemetry"
 	"vidperf/internal/workload"
 )
+
+// TelemetryOptions configures one streamed run.
+type TelemetryOptions struct {
+	// SketchK is the quantile-sketch compaction parameter (<= 0 selects
+	// telemetry.DefaultSketchK).
+	SketchK int
+	// Diagnose, when non-nil, classifies every finished session with
+	// internal/diagnose and adds the per-label cause counters and QoE
+	// sketches to the snapshot. Use &diagnose.Config{} for the default
+	// thresholds.
+	Diagnose *diagnose.Config
+}
 
 // RunTelemetry executes the scenario in streaming mode and returns the
 // merged campaign snapshot: one telemetry.Campaign supplies the per-PoP
@@ -13,7 +26,20 @@ import (
 // telemetry.DefaultSketchK). This is the single-cell primitive both
 // cmd/vodsim -stream/-spec and the experiment campaign runner build on.
 func RunTelemetry(sc workload.Scenario, sketchK int) (*telemetry.Snapshot, error) {
-	camp := telemetry.NewCampaign(sketchK)
+	return RunTelemetryOpts(sc, TelemetryOptions{SketchK: sketchK})
+}
+
+// RunTelemetryOpts is RunTelemetry with the full option set (per-session
+// diagnosis included). Diagnosis happens inside each shard's accumulator,
+// so the byte-identical-at-any-parallelism guarantee carries over to the
+// per-label state.
+func RunTelemetryOpts(sc workload.Scenario, opt TelemetryOptions) (*telemetry.Snapshot, error) {
+	var camp *telemetry.Campaign
+	if opt.Diagnose != nil {
+		camp = telemetry.NewDiagCampaign(opt.SketchK, *opt.Diagnose)
+	} else {
+		camp = telemetry.NewCampaign(opt.SketchK)
+	}
 	if err := RunWithSinks(sc, camp.Sink); err != nil {
 		return nil, err
 	}

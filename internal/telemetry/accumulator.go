@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"vidperf/internal/core"
+	"vidperf/internal/diagnose"
 )
 
 // Metric names of the quantile sketches an Accumulator maintains — one
@@ -58,6 +59,12 @@ type Accumulator struct {
 	sketches map[string]*QuantileSketch
 	hists    map[string]*Histogram
 	counters *CounterSet
+
+	// Diagnosis mode (see diag.go): non-nil diag classifies every
+	// consumed session; diagNames is the canonical order the per-label
+	// sketches merge in.
+	diag      *diagnose.Config
+	diagNames []string
 }
 
 // NewAccumulator returns an empty accumulator. Dimension counters key on
@@ -80,6 +87,15 @@ func NewAccumulator(k int) *Accumulator {
 	return a
 }
 
+// NewDiagAccumulator returns an accumulator that additionally classifies
+// every consumed session with internal/diagnose and maintains the
+// per-label counters and QoE sketches (see diag.go).
+func NewDiagAccumulator(k int, cfg diagnose.Config) *Accumulator {
+	a := NewAccumulator(k)
+	a.enableDiagnosis(cfg)
+	return a
+}
+
 // ConsumeSession implements core.RecordSink: it folds one finished
 // session and its chunks into the aggregates and retains nothing.
 func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRecord) {
@@ -96,6 +112,9 @@ func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRe
 	}
 	a.sketches[MetricRebufferRate].Add(s.RebufferRate)
 	a.hists[MetricRebufferRate].Add(s.RebufferRate)
+	if a.diag != nil {
+		a.consumeDiagnosis(s, chunks)
+	}
 
 	for i := range chunks {
 		c := &chunks[i]
@@ -133,6 +152,9 @@ func (a *Accumulator) Merge(o *Accumulator) {
 	for _, m := range metricNames {
 		a.sketches[m].Merge(o.sketches[m])
 	}
+	for _, m := range a.diagNames {
+		a.sketches[m].Merge(o.sketches[m])
+	}
 	for name, h := range a.hists {
 		h.Merge(o.hists[name])
 	}
@@ -157,6 +179,7 @@ func (a *Accumulator) snapshot() *Snapshot {
 type Campaign struct {
 	mu     sync.Mutex
 	k      int
+	diag   *diagnose.Config
 	perPoP map[int]*Accumulator
 }
 
@@ -164,6 +187,24 @@ type Campaign struct {
 // (<= 0 selects DefaultSketchK).
 func NewCampaign(k int) *Campaign {
 	return &Campaign{k: k, perPoP: map[int]*Accumulator{}}
+}
+
+// NewDiagCampaign returns a campaign whose per-PoP accumulators classify
+// every session with internal/diagnose, so the merged snapshot carries
+// the per-label cause counters and QoE sketches.
+func NewDiagCampaign(k int, cfg diagnose.Config) *Campaign {
+	c := NewCampaign(k)
+	withDefaults := cfg.WithDefaults()
+	c.diag = &withDefaults
+	return c
+}
+
+// newAccumulator builds one shard accumulator in the campaign's mode.
+func (c *Campaign) newAccumulator() *Accumulator {
+	if c.diag != nil {
+		return NewDiagAccumulator(c.k, *c.diag)
+	}
+	return NewAccumulator(c.k)
 }
 
 // Sink returns the accumulator for popID, creating it on first use. It is
@@ -174,7 +215,7 @@ func (c *Campaign) Sink(popID int) core.RecordSink {
 	defer c.mu.Unlock()
 	a, ok := c.perPoP[popID]
 	if !ok {
-		a = NewAccumulator(c.k)
+		a = c.newAccumulator()
 		c.perPoP[popID] = a
 	}
 	return a
@@ -190,7 +231,7 @@ func (c *Campaign) Snapshot() *Snapshot {
 		pops = append(pops, p)
 	}
 	sort.Ints(pops)
-	merged := NewAccumulator(c.k)
+	merged := c.newAccumulator()
 	for _, p := range pops {
 		merged.Merge(c.perPoP[p])
 	}

@@ -1,0 +1,77 @@
+// diag.go folds per-session root-cause diagnosis (internal/diagnose)
+// into the streaming aggregates: one label-dimensioned session counter
+// ("sessions_diag=<label>") and three per-label QoE sketches (startup,
+// re-buffering ratio, average bitrate), so campaigns can report not only
+// how QoE is distributed but which layer hurt the degraded sessions —
+// without ever materializing a record.
+package telemetry
+
+import (
+	"math"
+
+	"vidperf/internal/core"
+	"vidperf/internal/diagnose"
+)
+
+// MetricAvgBitrateKbps is the base name of the per-label average-bitrate
+// sketches ("avg_bitrate_kbps_diag=<label>"). There is no undimensioned
+// sketch of this name; it exists only under the diag dimension.
+const MetricAvgBitrateKbps = "avg_bitrate_kbps"
+
+// DiagDim is the dimension name diagnosis counters and sketches key on.
+const DiagDim = "diag"
+
+// DiagSessionsKey returns the session counter key for one label,
+// "sessions_diag=<label>".
+func DiagSessionsKey(label diagnose.Label) string {
+	return DimKey(CounterSessions, DiagDim, string(label))
+}
+
+// DiagSketchKey returns the per-label sketch name for one base metric,
+// e.g. DiagSketchKey(MetricStartupMS, diagnose.Healthy) =
+// "startup_ms_diag=healthy".
+func DiagSketchKey(base string, label diagnose.Label) string {
+	return DimKey(base, DiagDim, string(label))
+}
+
+// diagMetricBases are the per-label sketch families, in canonical order.
+var diagMetricBases = []string{MetricStartupMS, MetricRebufferRate, MetricAvgBitrateKbps}
+
+// diagSketchNames lists every per-label sketch in canonical order
+// (labels outer, metric families inner), the order Merge iterates.
+func diagSketchNames() []string {
+	labels := diagnose.Labels()
+	out := make([]string, 0, len(labels)*len(diagMetricBases))
+	for _, l := range labels {
+		for _, base := range diagMetricBases {
+			out = append(out, DiagSketchKey(base, l))
+		}
+	}
+	return out
+}
+
+// enableDiagnosis switches the accumulator into diagnosis mode: every
+// consumed session is classified and folded into the per-label state.
+// Call before the first ConsumeSession; the per-label sketches are
+// created eagerly so empty labels still merge and snapshot
+// deterministically.
+func (a *Accumulator) enableDiagnosis(cfg diagnose.Config) {
+	c := cfg.WithDefaults()
+	a.diag = &c
+	a.diagNames = diagSketchNames()
+	for _, name := range a.diagNames {
+		a.sketches[name] = NewSketch(a.k)
+	}
+}
+
+// consumeDiagnosis classifies one finished session and folds its QoE into
+// the label's counters and sketches.
+func (a *Accumulator) consumeDiagnosis(s core.SessionRecord, chunks []core.ChunkRecord) {
+	label := diagnose.Classify(s, chunks, *a.diag).Label
+	a.counters.Inc(DiagSessionsKey(label))
+	if !math.IsNaN(s.StartupMS) {
+		a.sketches[DiagSketchKey(MetricStartupMS, label)].Add(s.StartupMS)
+	}
+	a.sketches[DiagSketchKey(MetricRebufferRate, label)].Add(s.RebufferRate)
+	a.sketches[DiagSketchKey(MetricAvgBitrateKbps, label)].Add(s.AvgBitrateKbps)
+}

@@ -32,4 +32,14 @@
 // WriteSnapshot/ReadSnapshot serialize as JSON (cmd/vodsim -stream writes
 // one, cmd/analyze -snapshot reads one, and internal/analysis's Stream*
 // functions compute the sketch-backed counterparts of the exact analyses).
+//
+// # Diagnosis mode
+//
+// NewDiagAccumulator/NewDiagCampaign additionally classify every
+// consumed session with internal/diagnose (a pure function of the
+// session's records, so the determinism rule is preserved) and maintain
+// one exact session counter ("sessions_diag=<label>") plus per-label
+// startup/re-buffering/bitrate sketches ("startup_ms_diag=<label>", …)
+// per diagnosis label — the state behind cmd/analyze -diagnose and the
+// diag_share_* rows of the A/B comparison.
 package telemetry
