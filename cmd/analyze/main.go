@@ -8,6 +8,7 @@
 //	analyze -snapshot snap.json [-only stream-cdn]
 //	analyze -compare baseline.json candidate.json
 //	analyze -diagnose snap.json
+//	analyze -windows snap.json
 //
 // With -snapshot the input is a telemetry snapshot from
 // cmd/vodsim -stream: the sketch-backed subset of the figures is rendered
@@ -27,6 +28,13 @@
 // run (vodsim -stream -diagnose, or a spec with "diagnosis": true): the
 // per-layer cause-share table and per-label QoE sketches are rendered,
 // and the command fails unless every session carries exactly one label.
+//
+// With -windows the input must be a snapshot from a timeline run (a
+// spec with a "timeline" block, e.g. the pop-outage preset): the
+// per-window QoE table — before/during/after each injected fault or
+// degradation phase — is rendered, plus the per-window diagnosis-label
+// mix when the run also classified sessions. The command fails unless
+// the windows cover every session (the coverage invariant).
 package main
 
 import (
@@ -50,6 +58,7 @@ func main() {
 		snapshot = flag.String("snapshot", "", "input telemetry snapshot (from vodsim -stream); replaces -trace")
 		compare  = flag.String("compare", "", "baseline telemetry snapshot; diffs the positional candidate snapshot against it")
 		diagnose = flag.String("diagnose", "", "telemetry snapshot with diagnosis labels (from vodsim -stream -diagnose); renders the per-layer cause-share report")
+		windows  = flag.String("windows", "", "telemetry snapshot with timeline windows (from a spec with a \"timeline\" block); renders the per-window QoE/diagnosis report")
 		only     = flag.String("only", "", "comma-separated figure IDs to render (default all)")
 		maxRank  = flag.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
 		filter   = flag.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis (trace mode only)")
@@ -66,8 +75,8 @@ func main() {
 		log.Fatal("invalid flags: -trace and -snapshot are mutually exclusive")
 	}
 	if *compare != "" {
-		if traceSet || *snapshot != "" || *diagnose != "" {
-			log.Fatal("invalid flags: -compare excludes -trace, -snapshot and -diagnose")
+		if traceSet || *snapshot != "" || *diagnose != "" || *windows != "" {
+			log.Fatal("invalid flags: -compare excludes -trace, -snapshot, -diagnose and -windows")
 		}
 		if flag.NArg() != 1 {
 			log.Fatalf("usage: analyze -compare baseline.json candidate.json (got %d candidates)", flag.NArg())
@@ -76,10 +85,17 @@ func main() {
 		return
 	}
 	if *diagnose != "" {
-		if traceSet || *snapshot != "" {
-			log.Fatal("invalid flags: -diagnose excludes -trace and -snapshot (it is a snapshot mode of its own)")
+		if traceSet || *snapshot != "" || *windows != "" {
+			log.Fatal("invalid flags: -diagnose excludes -trace, -snapshot and -windows (it is a snapshot mode of its own)")
 		}
 		runDiagnose(*diagnose)
+		return
+	}
+	if *windows != "" {
+		if traceSet || *snapshot != "" {
+			log.Fatal("invalid flags: -windows excludes -trace and -snapshot (it is a snapshot mode of its own)")
+		}
+		runWindows(*windows)
 		return
 	}
 
@@ -181,6 +197,26 @@ func runDiagnose(path string) {
 // renderDiagnose is the -diagnose output (pinned by the golden tests).
 func renderDiagnose(sn *telemetry.Snapshot) string {
 	return figures.StreamDiagnosis(sn).Render() + "\n"
+}
+
+// runWindows loads a timeline-run snapshot and prints the per-window
+// QoE/diagnosis report. A snapshot without windows, or whose window
+// counts fail to cover every session, exits non-zero — the coverage
+// invariant is the report's integrity check.
+func runWindows(path string) {
+	sn := loadSnapshot(path)
+	log.Printf("loaded snapshot: %d sessions, %d windows (k=%d)",
+		sn.Counter(telemetry.CounterSessions), len(sn.Windows), sn.SketchK)
+	res := figures.StreamWindows(sn)
+	fmt.Print(res.Render() + "\n")
+	if !res.Pass {
+		os.Exit(1)
+	}
+}
+
+// renderWindows is the -windows output (pinned by the golden tests).
+func renderWindows(sn *telemetry.Snapshot) string {
+	return figures.StreamWindows(sn).Render() + "\n"
 }
 
 func loadSnapshot(path string) *telemetry.Snapshot {

@@ -10,6 +10,7 @@ import (
 	"vidperf/internal/diagnose"
 	"vidperf/internal/session"
 	"vidperf/internal/telemetry"
+	"vidperf/internal/timeline"
 	"vidperf/internal/workload"
 )
 
@@ -60,6 +61,53 @@ func checkGolden(t *testing.T, name, got string) {
 	if got != string(want) {
 		t.Errorf("%s output drifted from golden file;\n got:\n%s\nwant:\n%s\n(refresh intentionally with -update)",
 			name, got, want)
+	}
+}
+
+// goldenTimelineSnapshot builds the fixture a -windows golden render
+// pins: a diagnosed campaign with a mid-window network-degradation
+// phase, so the table shows QoE collapsing during the phase and
+// recovering after it.
+func goldenTimelineSnapshot(t *testing.T) *telemetry.Snapshot {
+	t.Helper()
+	sc := workload.Scenario{
+		Seed: 5, NumSessions: 500, NumPrefixes: 120, Parallelism: 1,
+	}.WithDefaults()
+	sc.Timeline = timeline.Timeline{Phases: []timeline.Phase{{
+		Name:    "degrade",
+		StartMS: 10 * 60e3,
+		EndMS:   20 * 60e3,
+		Effects: timeline.Effects{ThroughputFactor: 0.33, ExtraLossProb: 0.015, ExtraRTTms: 60},
+	}}}
+	sn, err := session.RunTelemetryOpts(sc, session.TelemetryOptions{
+		SketchK: 64, Diagnose: &diagnose.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.Labels = map[string]string{"spec": "golden", "cell": "base", "diagnosis": "on", "timeline": "1-phase"}
+	return sn
+}
+
+// TestGoldenWindows pins the analyze -windows per-window QoE and
+// diagnosis tables byte for byte.
+func TestGoldenWindows(t *testing.T) {
+	checkGolden(t, "windows-degrade.golden", renderWindows(goldenTimelineSnapshot(t)))
+}
+
+// TestWindowsCoverageInvariant: the rendered report passes exactly when
+// the window counts cover every session; dropping one window's counter
+// must flip it to a failing result, and a windowless snapshot must fail
+// with the explanatory note.
+func TestWindowsCoverageInvariant(t *testing.T) {
+	sn := goldenTimelineSnapshot(t)
+	delete(sn.Counters, telemetry.WindowSessionsKey(sn.Windows[0].Name))
+	if got := renderWindows(sn); !strings.Contains(got, "SHAPE MISMATCH") {
+		t.Errorf("report with missing window counts did not fail: %s", got)
+	}
+	warm, _ := goldenSnapshots(t)
+	if got := renderWindows(warm); !strings.Contains(got, "no timeline windows") {
+		t.Errorf("windowless snapshot did not explain itself: %s", got)
 	}
 }
 

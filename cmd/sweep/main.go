@@ -19,7 +19,8 @@
 //	sweep -list
 //
 // With -out each cell writes its labelled snapshot to <dir>/<cell>.json,
-// ready for cmd/analyze -snapshot or -compare. -sessions/-parallel
+// ready for cmd/analyze -snapshot, -compare, -diagnose or (for specs
+// with a "timeline" block) -windows. -sessions/-parallel
 // override every cell (the old sweep's laptop-scale knobs); -full-deltas
 // appends the complete per-metric delta table for every non-baseline
 // cell instead of the compact summary columns.

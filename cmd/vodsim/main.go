@@ -40,6 +40,13 @@
 // and -sketch-k may be combined with -spec, overriding the spec's values
 // — the overrides the CI determinism gate uses to replay one spec at
 // several -parallel settings and byte-compare the snapshots.
+//
+// A spec with a "timeline" block (see docs/SPECS.md) injects timed
+// faults and degradations — PoP outages, backend brownouts, cache
+// shrinks, path degradation, flash crowds — and the snapshot gains
+// per-window telemetry: cmd/analyze -windows renders QoE
+// before/during/after each phase. Timelines change nothing about the
+// determinism contract.
 package main
 
 import (
@@ -212,8 +219,9 @@ func validateSpecFlags(set map[string]bool, sketchK int, extra []string) error {
 
 // runSpec executes a single-cell experiment spec in streaming mode,
 // applying any explicitly-set override flags, and writes the labelled
-// snapshot to out. -diagnose turns diagnosis on even when the spec
-// leaves it off (it is an output toggle, so the simulated world — and
+// snapshot to out. An explicit -diagnose / -diagnose=false overrides
+// the spec's diagnosis toggle in either direction, like every other
+// override flag (it is an output toggle, so the simulated world — and
 // every non-diagnosis byte of the snapshot state — is unchanged).
 func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
 	seed uint64, parallel, sketchK int, diagnose bool, out string) {
@@ -247,8 +255,8 @@ func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
 	if set["sketch-k"] {
 		sp.SketchK = sketchK
 	}
-	if diagnose {
-		sp.Diagnosis = true
+	if set["diagnose"] {
+		sp.Diagnosis = diagnose
 	}
 	sc := cell.Scenario.WithDefaults()
 	log.Printf("spec %s cell %s: %d sessions (seed=%d, abr=%s, parallel=%d)",

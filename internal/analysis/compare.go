@@ -112,6 +112,27 @@ func CompareSnapshots(a, b *telemetry.Snapshot) SnapshotComparison {
 		rateDelta("never_started_share", a, b, telemetry.CounterSessionsNeverStart, telemetry.CounterSessions),
 	)
 
+	// Window-share deltas: when both sides carry the same timeline
+	// windows, diff each window's share of arrivals (a flash-crowd axis
+	// shows up here as mass moving into the surge window; the per-window
+	// QoE quantile shifts are already covered by the sketch metrics
+	// above, whose names carry the window dimension).
+	wa, wb := StreamWindows(a), StreamWindows(b)
+	if wa.Enabled() && wb.Enabled() && len(wa.Rows) == len(wb.Rows) {
+		for i, ra := range wa.Rows {
+			rb := wb.Rows[i]
+			if ra.Window.Name != rb.Window.Name {
+				continue
+			}
+			out.Rates = append(out.Rates, RateDelta{
+				Name:  "window_share_" + ra.Window.Name,
+				A:     ra.Share,
+				B:     rb.Share,
+				Delta: rb.Share - ra.Share,
+			})
+		}
+	}
+
 	// Cause-share deltas: when either side carries diagnosis labels, diff
 	// every label's share of sessions, so A/B campaign cells can report
 	// which layer a knob change moved sessions into (flash-crowd cells

@@ -1,0 +1,98 @@
+// windows.go extracts the timeline-window view from a telemetry
+// snapshot: one row per window of the campaign's event timeline
+// (internal/timeline) with exact session counts, the per-window QoE
+// sketches, and — when the run also classified sessions — the per-window
+// diagnosis-label mix. It is the analysis behind cmd/analyze -windows:
+// the before/during/after contrast a fault-injection campaign exists to
+// produce.
+package analysis
+
+import (
+	"vidperf/internal/diagnose"
+	"vidperf/internal/telemetry"
+	"vidperf/internal/timeline"
+)
+
+// WindowLabelShare is one diagnosis label's share of a window's sessions.
+type WindowLabelShare struct {
+	Label    diagnose.Label
+	Sessions uint64
+	Share    float64 // Sessions / window sessions
+}
+
+// WindowRow is one timeline window's row of the -windows report.
+type WindowRow struct {
+	Window   timeline.Window
+	Sessions uint64
+	Share    float64 // Sessions / total windowed sessions
+
+	// Per-window QoE sketches (startup in ms over started sessions,
+	// re-buffering ratio, session average bitrate in kbps).
+	Startup      *telemetry.QuantileSketch
+	RebufferRate *telemetry.QuantileSketch
+	Bitrate      *telemetry.QuantileSketch
+
+	// Diag lists the window's diagnosis-label mix in diagnose.Labels()
+	// order; empty when the run had diagnosis off.
+	Diag []WindowLabelShare
+}
+
+// StreamingWindows is the snapshot-level windowed report plus the
+// coverage-invariant inputs: windows partition the arrival window, so
+// Assigned must equal Sessions (and Unassigned stay zero) whenever the
+// snapshot was produced by a timeline run.
+type StreamingWindows struct {
+	Sessions   uint64 // total sessions in the snapshot
+	Assigned   uint64 // sessions charged to some window
+	Unassigned uint64 // sessions outside every window (should be 0)
+	Diagnosed  bool   // rows carry diagnosis-label mixes
+	Rows       []WindowRow
+}
+
+// Enabled reports whether the snapshot carries timeline windows at all.
+func (w StreamingWindows) Enabled() bool { return len(w.Rows) > 0 }
+
+// Covered reports the coverage invariant: every session charged to
+// exactly one window.
+func (w StreamingWindows) Covered() bool {
+	return w.Enabled() && w.Unassigned == 0 && w.Assigned == w.Sessions
+}
+
+// StreamWindows extracts the windowed report from a snapshot. Rows come
+// back in time order with exact counter-backed counts; windows no
+// session arrived in keep zero rows so reports are shaped identically
+// across cells of a campaign.
+func StreamWindows(sn *telemetry.Snapshot) StreamingWindows {
+	out := StreamingWindows{
+		Sessions:   sn.Counter(telemetry.CounterSessions),
+		Unassigned: sn.Counter(telemetry.CounterSessionsUnwindowed),
+	}
+	for _, w := range sn.Windows {
+		row := WindowRow{
+			Window:       w,
+			Sessions:     sn.Counter(telemetry.WindowSessionsKey(w.Name)),
+			Startup:      sn.Sketch(telemetry.WindowSketchKey(telemetry.MetricStartupMS, w.Name)),
+			RebufferRate: sn.Sketch(telemetry.WindowSketchKey(telemetry.MetricRebufferRate, w.Name)),
+			Bitrate:      sn.Sketch(telemetry.WindowSketchKey(telemetry.MetricAvgBitrateKbps, w.Name)),
+		}
+		for _, l := range diagnose.Labels() {
+			n := sn.Counter(telemetry.WindowDiagSessionsKey(w.Name, string(l)))
+			ls := WindowLabelShare{Label: l, Sessions: n}
+			if row.Sessions > 0 {
+				ls.Share = float64(n) / float64(row.Sessions)
+			}
+			if n > 0 {
+				out.Diagnosed = true
+			}
+			row.Diag = append(row.Diag, ls)
+		}
+		out.Assigned += row.Sessions
+		out.Rows = append(out.Rows, row)
+	}
+	for i := range out.Rows {
+		if out.Assigned > 0 {
+			out.Rows[i].Share = float64(out.Rows[i].Sessions) / float64(out.Assigned)
+		}
+	}
+	return out
+}

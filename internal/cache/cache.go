@@ -31,6 +31,12 @@ type Policy interface {
 	Size() int64
 	// Capacity returns the configured byte capacity.
 	Capacity() int64
+	// Resize changes the byte capacity, evicting in normal policy order
+	// until the resident set fits (a shrinking cache behaves exactly as
+	// if the displaced objects had lost an eviction contest). Capacities
+	// below one byte clamp to one. Growing never evicts. This is the
+	// hook behind timed cache-degradation phases (internal/timeline).
+	Resize(capacity int64)
 }
 
 // Stats counts cache outcomes for a request stream.

@@ -102,6 +102,16 @@ func (c *GreedyDual) Size() int64 { return c.pc.size }
 // Capacity implements Policy.
 func (c *GreedyDual) Capacity() int64 { return c.pc.capacity }
 
+// Resize implements Policy. Resize evictions do not advance the aging
+// term L (they are capacity events, not demand evictions); in-cache
+// frequency counters die with the evicted entries as usual.
+func (c *GreedyDual) Resize(capacity int64) {
+	c.pc.resize(capacity)
+	for _, k := range c.pc.evicted {
+		delete(c.freqs, k)
+	}
+}
+
 var _ Policy = (*GreedyDual)(nil)
 
 // NewPolicy constructs a policy by name: "lru", "lfu", "perfect-lfu",

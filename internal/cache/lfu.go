@@ -102,6 +102,23 @@ func (c *priorityCache) insert(key uint64, size int64, priority float64) (lastEv
 	return lastEvicted
 }
 
+// resize sets a new capacity and evicts minimum-priority entries until
+// the resident set fits, recording them in c.evicted so policies can
+// release per-key metadata.
+func (c *priorityCache) resize(capacity int64) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.capacity = capacity
+	c.evicted = c.evicted[:0]
+	for c.size > c.capacity && len(c.heap) > 0 {
+		ev := heap.Pop(&c.heap).(*pcEntry)
+		delete(c.items, ev.key)
+		c.size -= ev.size
+		c.evicted = append(c.evicted, ev.key)
+	}
+}
+
 func (c *priorityCache) remove(key uint64) {
 	if e, ok := c.items[key]; ok {
 		heap.Remove(&c.heap, e.index)
@@ -165,6 +182,15 @@ func (c *LFU) Size() int64 { return c.pc.size }
 // Capacity implements Policy.
 func (c *LFU) Capacity() int64 { return c.pc.capacity }
 
+// Resize implements Policy; in-cache counters die with resize evictions,
+// exactly as with insert evictions.
+func (c *LFU) Resize(capacity int64) {
+	c.pc.resize(capacity)
+	for _, k := range c.pc.evicted {
+		delete(c.freqs, k)
+	}
+}
+
 var _ Policy = (*LFU)(nil)
 
 // PerfectLFU evicts by all-time access frequency: counts survive eviction,
@@ -215,5 +241,9 @@ func (c *PerfectLFU) Size() int64 { return c.pc.size }
 
 // Capacity implements Policy.
 func (c *PerfectLFU) Capacity() int64 { return c.pc.capacity }
+
+// Resize implements Policy; all-time frequency counts survive, as they
+// do for ordinary evictions.
+func (c *PerfectLFU) Resize(capacity int64) { c.pc.resize(capacity) }
 
 var _ Policy = (*PerfectLFU)(nil)

@@ -97,4 +97,16 @@ func (c *LRU) Size() int64 { return c.size }
 // Capacity implements Policy.
 func (c *LRU) Capacity() int64 { return c.capacity }
 
+// Resize implements Policy: least-recent entries are evicted until the
+// resident set fits the new capacity.
+func (c *LRU) Resize(capacity int64) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.capacity = capacity
+	for c.size > c.capacity && c.ll.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
 var _ Policy = (*LRU)(nil)

@@ -74,6 +74,14 @@ func (m *MultiLevel) Contains(key uint64) bool {
 	return m.RAM.Contains(key) || m.Disk.Contains(key)
 }
 
+// Resize changes both levels' capacities (shrinking evicts in each
+// level's policy order). Timed cache-degradation phases use it to shrink
+// a serving cache mid-campaign and restore it afterwards.
+func (m *MultiLevel) Resize(ramBytes, diskBytes int64) {
+	m.RAM.Resize(ramBytes)
+	m.Disk.Resize(diskBytes)
+}
+
 // OverallMissRatio returns the fraction of lookups that reached the backend.
 func (m *MultiLevel) OverallMissRatio() float64 {
 	if m.RAMStats.Requests() == 0 {

@@ -84,6 +84,19 @@ type Request struct {
 	// Next lists the session's subsequent chunks (key+size), used only
 	// when prefetching is enabled.
 	Next []NextChunk
+	// BackendFactor scales the backend latency D_BE of a miss on this
+	// request (timeline brownout phases; 0 means unscaled). The latency
+	// sample itself is drawn as usual, so a factor of 1 is byte-identical
+	// to no factor at all.
+	BackendFactor float64
+}
+
+// backendFactor resolves the request's effective D_BE multiplier.
+func (r Request) backendFactor() float64 {
+	if r.BackendFactor <= 0 {
+		return 1
+	}
+	return r.BackendFactor
 }
 
 // NextChunk is a prefetch candidate.
@@ -218,7 +231,7 @@ func (s *Server) start(eng *sim.Engine, p pendingReq) {
 	case cache.LevelMiss:
 		res.RetryTimer = true
 		s.RetryHits++
-		res.DBEms = s.backend.FetchLatencyMS()
+		res.DBEms = s.backend.FetchLatencyMS() * p.req.backendFactor()
 		// Local work: retry timer + writing the backend's first bytes
 		// through to the socket (backend fetch and delivery are
 		// pipelined; the wait itself is accounted in D_BE).
@@ -266,7 +279,7 @@ func (s *Server) prefetch(eng *sim.Engine, req Request) {
 		if s.cache.Contains(nc.Key) {
 			continue
 		}
-		lat := s.backend.FetchLatencyMS()
+		lat := s.backend.FetchLatencyMS() * req.backendFactor()
 		key, size := nc.Key, nc.SizeBytes
 		eng.After(lat, func(float64) { s.cache.Insert(key, size) })
 	}

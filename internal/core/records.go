@@ -164,6 +164,11 @@ type SessionRecord struct {
 	ConnType   string  // access technology label
 	DistanceKM float64 // client to serving PoP
 
+	// ArrivalMS is the session's virtual arrival time within the
+	// campaign's arrival window. Windowed telemetry (internal/telemetry)
+	// charges the session to the timeline window containing it.
+	ArrivalMS float64
+
 	// QoE.
 	StartupMS      float64
 	RebufCount     int

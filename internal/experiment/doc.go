@@ -20,6 +20,15 @@
 // delta report includes per-label cause-share rows — campaigns can
 // assert why a cell degraded, not just that it did.
 //
+// A spec with a "timeline" block (TimelineSpec) injects faults and
+// degradations at scheduled virtual times (internal/timeline): PoP
+// outages with failover, backend brownouts, cache-capacity shrinks,
+// network-path degradation, and flash-crowd arrival surges, each a
+// timed phase. The timeline presets (pop-outage, backend-brownout,
+// degrade-recover) ship ready to run; cell snapshots gain per-window
+// telemetry for cmd/analyze -windows. docs/SPECS.md is the normative
+// field reference, pinned by a test against this package's types.
+//
 // Determinism: a cell's snapshot depends only on its scenario (seed
 // included) and sketch parameter — never on how many cells ran
 // concurrently or in what order — because each cell is an independent

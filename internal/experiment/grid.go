@@ -93,6 +93,11 @@ func splitmix(z uint64) uint64 {
 // the same spec always yields the same cells, names, and seeds.
 func (s *Spec) Expand() ([]Cell, error) {
 	base := s.Scenario.Apply(workload.Scenario{})
+	tl, err := s.Timeline.Build()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: spec %s: %w", s.Name, err)
+	}
+	base.Timeline = tl
 	if len(s.Axes) == 0 {
 		return []Cell{{Name: "base", Scenario: base, Axes: map[string]string{}}}, nil
 	}

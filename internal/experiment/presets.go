@@ -67,6 +67,55 @@ var presets = map[string]Spec{
 		Baseline: "cache_policy=lru,ram_gb=2",
 	},
 
+	// A PoP failing mid-campaign: PoP 2 is out for the middle ten
+	// minutes of the 30-minute window, its arrivals anycast-failed-over
+	// to PoP 0 on a visibly longer path. Diagnosis is on so analyze
+	// -windows can show the label mix shifting during the outage and
+	// recovering after it (the acceptance evidence for timed fault
+	// injection).
+	"pop-outage": {
+		Name:        "pop-outage",
+		Description: "PoP 2 outage minutes 10-20 with failover to PoP 0: per-window QoE dip and recovery.",
+		Scenario:    ScenarioSpec{Seed: u64(41), Sessions: 4000, Prefixes: 600, Videos: 1500},
+		Diagnosis:   true,
+		Timeline: &TimelineSpec{Phases: []PhaseSpec{{
+			Name: "outage", StartMin: 10, DurationMin: 10,
+			PoPDown: []int{2}, FailoverPoP: 0, FailoverExtraRTTms: 120,
+		}}},
+	},
+
+	// An origin brownout under cold caches: every miss pays 6x the
+	// backend latency for the middle ten minutes. Cold caches keep the
+	// miss rate high enough that the brownout dominates the window's
+	// first-byte delays — the paper's "misses raise median latency 40x"
+	// sensitivity, made transient.
+	"backend-brownout": {
+		Name:        "backend-brownout",
+		Description: "6x origin-latency brownout minutes 10-20 on cold caches: windowed D_BE and startup spike.",
+		Scenario:    ScenarioSpec{Seed: u64(42), Sessions: 4000, Prefixes: 600, Videos: 1500, Cold: b(true)},
+		Diagnosis:   true,
+		Timeline: &TimelineSpec{Phases: []PhaseSpec{{
+			Name: "brownout", StartMin: 10, DurationMin: 10,
+			BackendLatencyFactor: 6,
+		}}},
+	},
+
+	// A network-path degradation that sets in and lifts: sessions
+	// arriving in the middle ten minutes see a third of their bottleneck
+	// rate, 1.5% extra segment loss, and 60 ms extra RTT — the §4.2
+	// congestion-episode picture as a campaign-wide transient instead of
+	// a per-prefix process.
+	"degrade-recover": {
+		Name:        "degrade-recover",
+		Description: "Path degradation minutes 10-20 (throughput/3, +1.5% loss, +60 ms RTT), then recovery.",
+		Scenario:    ScenarioSpec{Seed: u64(43), Sessions: 4000, Prefixes: 600, Videos: 1500},
+		Diagnosis:   true,
+		Timeline: &TimelineSpec{Phases: []PhaseSpec{{
+			Name: "degrade", StartMin: 10, DurationMin: 10,
+			ThroughputFactor: 0.33, ExtraLossProb: 0.015, ExtraRTTms: 60,
+		}}},
+	},
+
 	// The old hardcoded cmd/sweep zipf factor, ported verbatim: same
 	// seed, same scale, same exponents. internal/experiment's parity
 	// test pins this preset's cells to the old construction.
@@ -96,6 +145,8 @@ func Presets() []string {
 }
 
 func u64(v uint64) *uint64 { return &v }
+
+func b(v bool) *bool { return &v }
 
 // vals marshals literal axis values; a value json can't encode is a
 // programming error in the preset table, so it panics at init.

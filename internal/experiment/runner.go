@@ -143,6 +143,9 @@ func RunCell(spec *Spec, cell Cell, outDir string) (CellResult, error) {
 	if spec.Diagnosis {
 		sn.Labels["diagnosis"] = "on"
 	}
+	if spec.Timeline != nil {
+		sn.Labels["timeline"] = fmt.Sprintf("%d-phase", len(spec.Timeline.Phases))
+	}
 	for name, value := range cell.Axes {
 		sn.Labels["axis:"+name] = value
 	}

@@ -63,6 +63,16 @@ type Spec struct {
 	// simulated world is identical either way.
 	Diagnosis bool `json:"diagnosis,omitempty"`
 
+	// Timeline injects faults and degradations at scheduled virtual
+	// times (internal/timeline): PoP outages with failover, backend
+	// brownouts, cache-capacity shrinks, network-path degradation, and
+	// flash-crowd arrival surges, each a timed phase. It also turns on
+	// windowed telemetry: every cell's snapshot carries per-window QoE
+	// (and, with diagnosis, cause-label) state for cmd/analyze -windows.
+	// The timeline is shared by every cell of the grid; it is not an
+	// axis.
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
+
 	// Axes are crossed into the cell grid in declaration order (first
 	// axis slowest). A spec with no axes is a single cell named "base".
 	Axes []Axis `json:"axes,omitempty"`
@@ -284,6 +294,9 @@ func Load(r io.Reader) (*Spec, error) {
 		if s.Diagnosis {
 			merged.Diagnosis = true
 		}
+		if s.Timeline != nil {
+			merged.Timeline = s.Timeline
+		}
 		if len(s.Axes) != 0 {
 			merged.Axes = s.Axes
 		}
@@ -354,6 +367,14 @@ func (s *Spec) Validate() error {
 	cells, err := s.Expand()
 	if err != nil {
 		return err
+	}
+	// The timeline's intrinsic invariants were checked by Expand (via
+	// Build); PoP references are checked per cell because an axis may
+	// sweep the fleet size.
+	for _, c := range cells {
+		if err := c.Scenario.Timeline.ValidatePoPs(c.Scenario.Fleet.WithDefaults().NumPoPs); err != nil {
+			return fmt.Errorf("experiment: spec %s: cell %s: %w", s.Name, c.Name, err)
+		}
 	}
 	if s.Baseline != "" {
 		if s.BaselineIndex(cells) < 0 {

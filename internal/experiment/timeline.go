@@ -1,0 +1,78 @@
+// timeline.go is the JSON face of internal/timeline: the "timeline"
+// block of an experiment spec. Like the rest of the spec format it is
+// strict — unknown fields are rejected by the spec decoder — and uses
+// campaign-friendly units (minutes for phase bounds, matching the
+// arrival_window_min scenario knob).
+package experiment
+
+import (
+	"fmt"
+
+	"vidperf/internal/timeline"
+)
+
+// TimelineSpec is the spec-file encoding of a campaign event timeline.
+type TimelineSpec struct {
+	// Phases are the timed fault/degradation regimes, in chronological
+	// order (the builder validates ordering and non-overlap).
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// PhaseSpec is one phase of the timeline block. Bounds are minutes of
+// virtual time since campaign start; every effect field is optional and
+// its zero value means "unchanged" (factors use 0, not 1, as neutral —
+// the same convention the scenario spec uses for its knobs).
+type PhaseSpec struct {
+	Name        string  `json:"name"`
+	StartMin    float64 `json:"start_min"`
+	DurationMin float64 `json:"duration_min"`
+
+	// PoP outage and failover.
+	PoPDown            []int   `json:"pop_down,omitempty"`
+	FailoverPoP        int     `json:"failover_pop,omitempty"`
+	FailoverExtraRTTms float64 `json:"failover_extra_rtt_ms,omitempty"`
+
+	// Backend brownout.
+	BackendLatencyFactor float64 `json:"backend_latency_factor,omitempty"`
+
+	// Cache degradation.
+	CacheCapacityFactor float64 `json:"cache_capacity_factor,omitempty"`
+
+	// Network-path degradation.
+	ExtraLossProb    float64 `json:"extra_loss_prob,omitempty"`
+	ThroughputFactor float64 `json:"throughput_factor,omitempty"`
+	ExtraRTTms       float64 `json:"extra_rtt_ms,omitempty"`
+
+	// Flash crowd.
+	ArrivalRateFactor float64 `json:"arrival_rate_factor,omitempty"`
+}
+
+// Build converts the spec block into a validated timeline.Timeline.
+func (t *TimelineSpec) Build() (timeline.Timeline, error) {
+	var tl timeline.Timeline
+	if t == nil {
+		return tl, nil
+	}
+	for _, p := range t.Phases {
+		tl.Phases = append(tl.Phases, timeline.Phase{
+			Name:    p.Name,
+			StartMS: p.StartMin * 60 * 1000,
+			EndMS:   (p.StartMin + p.DurationMin) * 60 * 1000,
+			Effects: timeline.Effects{
+				PoPDown:              append([]int(nil), p.PoPDown...),
+				FailoverPoP:          p.FailoverPoP,
+				FailoverExtraRTTms:   p.FailoverExtraRTTms,
+				BackendLatencyFactor: p.BackendLatencyFactor,
+				CacheCapacityFactor:  p.CacheCapacityFactor,
+				ExtraLossProb:        p.ExtraLossProb,
+				ThroughputFactor:     p.ThroughputFactor,
+				ExtraRTTms:           p.ExtraRTTms,
+				ArrivalRateFactor:    p.ArrivalRateFactor,
+			},
+		})
+	}
+	if err := tl.Validate(); err != nil {
+		return timeline.Timeline{}, fmt.Errorf("timeline block: %w", err)
+	}
+	return tl, nil
+}

@@ -145,12 +145,16 @@ func streamDiagnosisResult(d analysis.StreamingDiagnosis) Result {
 }
 
 // AllStreaming renders every sketch-backed figure from a snapshot. The
-// diagnosis report joins the set only when the snapshot carries labels,
-// so plain -stream snapshots render exactly as before.
+// diagnosis and timeline-window reports join the set only when the
+// snapshot carries their state, so plain -stream snapshots render
+// exactly as before.
 func AllStreaming(sn *telemetry.Snapshot) []Result {
 	out := []Result{StreamCDN(sn), StreamMix(sn), StreamQoE(sn)}
 	if d := analysis.StreamDiagnosis(sn); d.Enabled() {
 		out = append(out, streamDiagnosisResult(d))
+	}
+	if w := analysis.StreamWindows(sn); w.Enabled() {
+		out = append(out, streamWindowsResult(w))
 	}
 	return out
 }

@@ -1,0 +1,59 @@
+// windows.go renders the timeline-window report: per-window QoE and —
+// when diagnosis ran too — the per-window cause-label mix, the
+// before/during/after evidence a fault-injection timeline
+// (internal/timeline) exists to produce. cmd/analyze -windows prints it.
+package figures
+
+import (
+	"fmt"
+
+	"vidperf/internal/analysis"
+	"vidperf/internal/telemetry"
+)
+
+// StreamWindows renders the windowed QoE/diagnosis tables from a
+// snapshot produced by a timeline run. The coverage invariant is the
+// pass condition: the windows partition the arrival window, so every
+// session must be charged to exactly one of them.
+func StreamWindows(sn *telemetry.Snapshot) Result {
+	return streamWindowsResult(analysis.StreamWindows(sn))
+}
+
+func streamWindowsResult(w analysis.StreamingWindows) Result {
+	r := Result{
+		ID:    "stream-windows",
+		Title: "QoE by timeline window (before/during/after injected events)",
+		Paper: "transients the paper characterizes — cache-miss storms, backend slowdowns, path degradation — degrade QoE inside the event window and recover after it",
+		Measured: fmt.Sprintf("windows=%d sessions=%d assigned=%d",
+			len(w.Rows), w.Sessions, w.Assigned),
+	}
+	r.Lines = append(r.Lines, fmt.Sprintf("%-16s %15s %9s %8s %14s %12s %14s",
+		"window", "span (min)", "sessions", "share", "startup p50", "rebuf p90", "bitrate p50"))
+	for _, row := range w.Rows {
+		r.Lines = append(r.Lines, fmt.Sprintf("%-16s [%6.1f,%6.1f) %9d %8s %14.4g %12.4g %14.4g",
+			row.Window.Name, row.Window.StartMS/60000, row.Window.EndMS/60000,
+			row.Sessions, pct(row.Share),
+			row.Startup.Quantile(0.5), row.RebufferRate.Quantile(0.9),
+			row.Bitrate.Quantile(0.5)))
+	}
+	if w.Diagnosed {
+		r.Lines = append(r.Lines, "", "diagnosis-label share per window:")
+		header := fmt.Sprintf("%-16s", "window")
+		for _, ls := range w.Rows[0].Diag {
+			header += fmt.Sprintf(" %18s", ls.Label)
+		}
+		r.Lines = append(r.Lines, header)
+		for _, row := range w.Rows {
+			line := fmt.Sprintf("%-16s", row.Window.Name)
+			for _, ls := range row.Diag {
+				line += fmt.Sprintf(" %18s", pct(ls.Share))
+			}
+			r.Lines = append(r.Lines, line)
+		}
+	}
+	r.Pass = w.Covered()
+	if !w.Enabled() {
+		r.Note = "snapshot carries no timeline windows (re-run a spec with a \"timeline\" block, e.g. the pop-outage preset)"
+	}
+	return r
+}

@@ -26,6 +26,7 @@ import (
 	"vidperf/internal/cdn"
 	"vidperf/internal/core"
 	"vidperf/internal/sim"
+	"vidperf/internal/timeline"
 	"vidperf/internal/workload"
 )
 
@@ -129,6 +130,12 @@ type popShard struct {
 func planShards(pop *workload.Population, factory SinkFactory) ([]*popShard, error) {
 	sc := pop.Scenario
 	cfg := sc.Fleet.WithDefaults()
+	if err := sc.Timeline.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.Timeline.ValidatePoPs(cfg.NumPoPs); err != nil {
+		return nil, err
+	}
 	parts := pop.PartitionByPoP(cfg.NumPoPs)
 	shards := make([]*popShard, 0, len(parts))
 	for popID, ids := range parts {
@@ -179,6 +186,7 @@ func (sh *popShard) run() {
 		WarmPoP(fleet, sh.pop.Catalog, popID)
 	}
 	eng := &sh.shard.Engine
+	scheduleTimelineEvents(eng, fleet, popID, sc.Timeline)
 	for _, id := range sh.ids {
 		eng.At(sh.pop.SessionArrival(id), func(float64) {
 			plan := sh.pop.PlanSession(id)
@@ -186,4 +194,40 @@ func (sh *popShard) run() {
 		})
 	}
 	eng.Run()
+}
+
+// scheduleTimelineEvents installs the timeline's per-server mutations as
+// engine events inside one shard: cache-capacity shrink at each phase
+// start and restore at its end. They are scheduled before any arrival,
+// so at equal timestamps the capacity change is applied before sessions
+// arriving at that exact instant — the same deterministic order on every
+// run and at every parallelism, since each shard mutates only its own
+// servers inside its own event system.
+func scheduleTimelineEvents(eng *sim.Engine, fleet *cdn.Fleet, popID int, tl timeline.Timeline) {
+	for _, ph := range tl.Phases {
+		f := ph.Effects.CacheCapacityFactor
+		if f <= 0 || f == 1 {
+			continue
+		}
+		servers := fleet.PoPServers(popID)
+		resize := func(factor float64) func(float64) {
+			return func(float64) {
+				for _, srv := range servers {
+					cfg := srv.Config()
+					srv.Cache().Resize(scaleBytes(cfg.RAMBytes, factor), scaleBytes(cfg.DiskBytes, factor))
+				}
+			}
+		}
+		eng.At(ph.StartMS, resize(f))
+		eng.At(ph.EndMS, resize(1))
+	}
+}
+
+// scaleBytes scales a byte capacity, clamping at one byte.
+func scaleBytes(b int64, factor float64) int64 {
+	scaled := int64(float64(b) * factor)
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
 }

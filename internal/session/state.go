@@ -100,9 +100,10 @@ func (s *sessionState) requestNextChunk() {
 	req := cdn.Request{
 		Key: key, SizeBytes: size,
 		VideoID: s.plan.Video.ID, ChunkIndex: idx,
-		Next: s.prefetchList(idx, bitrate),
+		Next:          s.prefetchList(idx, bitrate),
+		BackendFactor: s.plan.BackendFactor,
 	}
-	s.server = s.fleet.ServerFor(s.plan.Prefix.PoP, s.plan.Video.ID, s.plan.Video.Rank, s.plan.ID)
+	s.server = s.fleet.ServerFor(s.plan.ServingPoP, s.plan.Video.ID, s.plan.Video.Rank, s.plan.ID)
 	t0 := s.eng.Now()
 	s.server.Serve(s.eng, req, func(res cdn.ServeResult) {
 		s.onServed(t0, idx, bitrate, dur, size, res)
@@ -251,12 +252,13 @@ func (s *sessionState) finish() {
 		Prefix:         pl.Prefix.Label,
 		Country:        pl.Prefix.Country,
 		US:             pl.Prefix.US,
-		PoP:            pl.Prefix.PoP,
+		PoP:            pl.ServingPoP,
 		ServerID:       s.serverID(),
 		OrgName:        pl.Prefix.Profile.OrgName,
 		OrgType:        pl.Prefix.Profile.Org.String(),
 		ConnType:       workload.ConnTypeLabel(pl.Prefix),
 		DistanceKM:     pl.Prefix.DistKM,
+		ArrivalMS:      pl.ArrivalMS,
 		StartupMS:      s.play.StartupMS() - pl.ArrivalMS,
 		RebufCount:     s.play.RebufCount(),
 		RebufDurMS:     s.play.RebufDurMS(),

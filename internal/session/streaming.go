@@ -33,13 +33,20 @@ func RunTelemetry(sc workload.Scenario, sketchK int) (*telemetry.Snapshot, error
 // diagnosis included). Diagnosis happens inside each shard's accumulator,
 // so the byte-identical-at-any-parallelism guarantee carries over to the
 // per-label state.
+//
+// A scenario with a timeline additionally runs in windowed mode: the
+// campaign's accumulators charge each session to the timeline window
+// containing its arrival, so the snapshot carries the per-window
+// counters and QoE sketches cmd/analyze -windows renders. Window
+// attribution happens per shard and merges like every other aggregate,
+// so it too is byte-identical at any parallelism.
 func RunTelemetryOpts(sc workload.Scenario, opt TelemetryOptions) (*telemetry.Snapshot, error) {
-	var camp *telemetry.Campaign
-	if opt.Diagnose != nil {
-		camp = telemetry.NewDiagCampaign(opt.SketchK, *opt.Diagnose)
-	} else {
-		camp = telemetry.NewCampaign(opt.SketchK)
-	}
+	eff := sc.WithDefaults()
+	camp := telemetry.NewCampaignWith(telemetry.Config{
+		SketchK:  opt.SketchK,
+		Diagnose: opt.Diagnose,
+		Windows:  eff.Timeline.Windows(eff.ArrivalWindowMS),
+	})
 	if err := RunWithSinks(sc, camp.Sink); err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"vidperf/internal/core"
 	"vidperf/internal/diagnose"
+	"vidperf/internal/timeline"
 )
 
 // Metric names of the quantile sketches an Accumulator maintains — one
@@ -36,11 +37,15 @@ var metricNames = []string{
 // Counter names (see CounterSet for the dimensioned-key convention; the
 // dimensions in use are pop, cache, bitrate, and org).
 const (
-	CounterSessions           = "sessions" // also the base of _pop= / _org= keys
+	CounterSessions           = "sessions" // also the base of _pop= / _org= / _window= keys
 	CounterSessionsNeverStart = "sessions_never_started"
 	CounterChunks             = "chunks" // also the base of _pop= / _cache= / _bitrate= keys
 	CounterChunksHit          = "chunks_hit"
 	CounterChunksRetryTimer   = "chunks_retry_timer"
+	// CounterSessionsUnwindowed counts sessions whose arrival fell
+	// outside every timeline window — always zero when the windows span
+	// the arrival window; non-zero breaks the -windows coverage check.
+	CounterSessionsUnwindowed = "sessions_unwindowed"
 )
 
 // histogram shapes, shared by every accumulator so snapshots merge.
@@ -65,6 +70,28 @@ type Accumulator struct {
 	// sketches merge in.
 	diag      *diagnose.Config
 	diagNames []string
+
+	// Windowed mode (see windows.go): sessions are charged by arrival
+	// time to these timeline windows; windowNames is the canonical order
+	// the per-window sketches merge in.
+	windows     []timeline.Window
+	windowNames []string
+}
+
+// Config assembles an accumulator's optional modes next to its sketch
+// parameter: per-session diagnosis (nil = off) and timeline-window
+// attribution (nil = off). The zero value is a plain accumulator with
+// the default sketch parameter.
+type Config struct {
+	// SketchK is the quantile-sketch compaction parameter (<= 0 selects
+	// DefaultSketchK).
+	SketchK int
+	// Diagnose, when non-nil, classifies every consumed session with
+	// internal/diagnose (see diag.go).
+	Diagnose *diagnose.Config
+	// Windows, when non-empty, charges every consumed session to the
+	// timeline window containing its arrival (see windows.go).
+	Windows []timeline.Window
 }
 
 // NewAccumulator returns an empty accumulator. Dimension counters key on
@@ -87,12 +114,14 @@ func NewAccumulator(k int) *Accumulator {
 	return a
 }
 
-// NewDiagAccumulator returns an accumulator that additionally classifies
-// every consumed session with internal/diagnose and maintains the
-// per-label counters and QoE sketches (see diag.go).
-func NewDiagAccumulator(k int, cfg diagnose.Config) *Accumulator {
-	a := NewAccumulator(k)
-	a.enableDiagnosis(cfg)
+// NewAccumulatorWith returns an accumulator with the configured optional
+// modes enabled (per-session diagnosis, timeline windows).
+func NewAccumulatorWith(cfg Config) *Accumulator {
+	a := NewAccumulator(cfg.SketchK)
+	if cfg.Diagnose != nil {
+		a.enableDiagnosis(*cfg.Diagnose)
+	}
+	a.enableWindows(cfg.Windows)
 	return a
 }
 
@@ -112,8 +141,12 @@ func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRe
 	}
 	a.sketches[MetricRebufferRate].Add(s.RebufferRate)
 	a.hists[MetricRebufferRate].Add(s.RebufferRate)
+	diagLabel := ""
 	if a.diag != nil {
-		a.consumeDiagnosis(s, chunks)
+		diagLabel = a.consumeDiagnosis(s, chunks)
+	}
+	if len(a.windows) > 0 {
+		a.consumeWindow(s, diagLabel)
 	}
 
 	for i := range chunks {
@@ -155,6 +188,9 @@ func (a *Accumulator) Merge(o *Accumulator) {
 	for _, m := range a.diagNames {
 		a.sketches[m].Merge(o.sketches[m])
 	}
+	for _, m := range a.windowNames {
+		a.sketches[m].Merge(o.sketches[m])
+	}
 	for name, h := range a.hists {
 		h.Merge(o.hists[name])
 	}
@@ -166,6 +202,7 @@ func (a *Accumulator) snapshot() *Snapshot {
 	return &Snapshot{
 		Schema:     SnapshotSchema,
 		SketchK:    NewSketch(a.k).K(),
+		Windows:    a.windows,
 		Sketches:   a.sketches,
 		Histograms: a.hists,
 		Counters:   a.counters.Map(),
@@ -178,33 +215,29 @@ func (a *Accumulator) snapshot() *Snapshot {
 // keeps streamed output byte-identical at any parallelism.
 type Campaign struct {
 	mu     sync.Mutex
-	k      int
-	diag   *diagnose.Config
+	cfg    Config
 	perPoP map[int]*Accumulator
 }
 
 // NewCampaign returns an empty campaign with the given sketch parameter
 // (<= 0 selects DefaultSketchK).
 func NewCampaign(k int) *Campaign {
-	return &Campaign{k: k, perPoP: map[int]*Accumulator{}}
+	return NewCampaignWith(Config{SketchK: k})
 }
 
-// NewDiagCampaign returns a campaign whose per-PoP accumulators classify
-// every session with internal/diagnose, so the merged snapshot carries
-// the per-label cause counters and QoE sketches.
-func NewDiagCampaign(k int, cfg diagnose.Config) *Campaign {
-	c := NewCampaign(k)
-	withDefaults := cfg.WithDefaults()
-	c.diag = &withDefaults
-	return c
+// NewCampaignWith returns an empty campaign whose per-PoP accumulators
+// run in the configured modes (diagnosis and/or timeline windows).
+func NewCampaignWith(cfg Config) *Campaign {
+	if cfg.Diagnose != nil {
+		withDefaults := cfg.Diagnose.WithDefaults()
+		cfg.Diagnose = &withDefaults
+	}
+	return &Campaign{cfg: cfg, perPoP: map[int]*Accumulator{}}
 }
 
 // newAccumulator builds one shard accumulator in the campaign's mode.
 func (c *Campaign) newAccumulator() *Accumulator {
-	if c.diag != nil {
-		return NewDiagAccumulator(c.k, *c.diag)
-	}
-	return NewAccumulator(c.k)
+	return NewAccumulatorWith(c.cfg)
 }
 
 // Sink returns the accumulator for popID, creating it on first use. It is

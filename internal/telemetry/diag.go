@@ -64,9 +64,10 @@ func (a *Accumulator) enableDiagnosis(cfg diagnose.Config) {
 	}
 }
 
-// consumeDiagnosis classifies one finished session and folds its QoE into
-// the label's counters and sketches.
-func (a *Accumulator) consumeDiagnosis(s core.SessionRecord, chunks []core.ChunkRecord) {
+// consumeDiagnosis classifies one finished session, folds its QoE into
+// the label's counters and sketches, and returns the label so windowed
+// mode can cross it with the session's arrival window.
+func (a *Accumulator) consumeDiagnosis(s core.SessionRecord, chunks []core.ChunkRecord) string {
 	label := diagnose.Classify(s, chunks, *a.diag).Label
 	a.counters.Inc(DiagSessionsKey(label))
 	if !math.IsNaN(s.StartupMS) {
@@ -74,4 +75,5 @@ func (a *Accumulator) consumeDiagnosis(s core.SessionRecord, chunks []core.Chunk
 	}
 	a.sketches[DiagSketchKey(MetricRebufferRate, label)].Add(s.RebufferRate)
 	a.sketches[DiagSketchKey(MetricAvgBitrateKbps, label)].Add(s.AvgBitrateKbps)
+	return string(label)
 }

@@ -35,11 +35,25 @@
 //
 // # Diagnosis mode
 //
-// NewDiagAccumulator/NewDiagCampaign additionally classify every
+// NewCampaignWith (or NewAccumulatorWith) with a non-nil Config.Diagnose
+// additionally classifies every
 // consumed session with internal/diagnose (a pure function of the
 // session's records, so the determinism rule is preserved) and maintain
 // one exact session counter ("sessions_diag=<label>") plus per-label
 // startup/re-buffering/bitrate sketches ("startup_ms_diag=<label>", …)
 // per diagnosis label — the state behind cmd/analyze -diagnose and the
 // diag_share_* rows of the A/B comparison.
+//
+// # Windowed mode
+//
+// NewCampaignWith with a Windows list (derived from a scenario's
+// timeline, internal/timeline) additionally charges every consumed
+// session — by its arrival time, a value fixed at planning, so the
+// determinism rule is preserved — to one named timeline window: one
+// exact session counter ("sessions_window=<name>"), per-window QoE
+// sketches ("startup_ms_window=<name>", …), and, with diagnosis on too,
+// per-window per-label counters
+// ("sessions_window=<name>_diag=<label>"). This is the state behind
+// cmd/analyze -windows: QoE before/during/after an injected fault,
+// without ever materializing a record.
 package telemetry

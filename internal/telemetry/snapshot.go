@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"vidperf/internal/timeline"
 )
 
 // SnapshotSchema is the wire-format version WriteSnapshot emits and
@@ -26,7 +28,10 @@ type Snapshot struct {
 	// attached by campaign drivers. Maps marshal with sorted keys, so
 	// labels do not disturb snapshot determinism; they are ignored by the
 	// figure renderers and surfaced by cmd/analyze -compare.
-	Labels     map[string]string          `json:"labels,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Windows lists the timeline windows (in time order) the windowed
+	// counters and sketches key on; empty for runs without a timeline.
+	Windows    []timeline.Window          `json:"windows,omitempty"`
 	Sketches   map[string]*QuantileSketch `json:"sketches"`
 	Histograms map[string]*Histogram      `json:"histograms"`
 	Counters   map[string]uint64          `json:"counters"`

@@ -16,6 +16,7 @@ import (
 	"vidperf/internal/netpath"
 	"vidperf/internal/stats"
 	"vidperf/internal/tcpmodel"
+	"vidperf/internal/timeline"
 )
 
 // Scenario is the master configuration of one simulated measurement
@@ -63,6 +64,14 @@ type Scenario struct {
 	// (Seed, PoP) alone, so the merged trace is byte-identical at every
 	// setting — Parallelism only changes wall-clock time.
 	Parallelism int
+
+	// Timeline injects faults and degradations at scheduled virtual
+	// times (internal/timeline): PoP outages with failover, backend
+	// brownouts, cache shrinks, path degradation, and flash-crowd
+	// arrival surges. Per-session effects latch at each session's
+	// (possibly rate-warped) arrival time, so the zero value — no
+	// phases — is byte-identical to a scenario without a timeline.
+	Timeline timeline.Timeline
 }
 
 // WithDefaults returns the effective scenario with zero fields replaced
@@ -140,6 +149,10 @@ type Population struct {
 	PoPs     []geo.PoP
 
 	cumWeights []float64
+	// warp is the timeline's precomputed arrival-rate transform (nil =
+	// identity); built once here because the planner warps twice per
+	// session.
+	warp *timeline.ArrivalWarp
 }
 
 // Build generates the population for sc. The same seed yields the same
@@ -151,6 +164,7 @@ func Build(sc Scenario) *Population {
 		Scenario: sc,
 		Catalog:  catalog.New(sc.Catalog, r.Split()),
 		PoPs:     geo.DefaultPoPs(),
+		warp:     sc.Timeline.NewArrivalWarp(sc.ArrivalWindowMS),
 	}
 	pop.buildPrefixes(r.Split())
 	return pop
@@ -272,11 +286,28 @@ type SessionPlan struct {
 	// ClientIP / EgressIP implement the §3 proxy-detection signals.
 	ClientIP string
 	HTTPIP   string
+
+	// ServingPoP is the PoP that serves the session: the prefix's PoP
+	// unless a timeline phase has it down at the session's arrival, in
+	// which case it is the phase's failover PoP.
+	ServingPoP int
+	// BackendFactor scales D_BE for the session's cache-miss fetches
+	// (timeline backend brownout); 1 outside brownout phases.
+	BackendFactor float64
+	// FailedOver marks sessions redirected by a PoP outage phase.
+	FailedOver bool
 }
 
 // PlanSession draws session id's plan. Plans are deterministic in
 // (scenario seed, id). The prefix draw must stay the first use of r so
 // that SessionPoP predicts the same serving PoP without building a plan.
+//
+// When the scenario has a timeline, the uniform arrival draw is warped
+// through the timeline's arrival-rate function and the phase active at
+// the warped arrival (if any) overlays its per-session effects: path
+// degradation, backend brownout factor, PoP failover. Both steps are
+// pure transforms — no extra RNG draws — so an empty timeline yields
+// exactly the pre-timeline plan.
 func (p *Population) PlanSession(id uint64) SessionPlan {
 	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
 	pre := p.SamplePrefix(r)
@@ -288,14 +319,16 @@ func (p *Population) PlanSession(id uint64) SessionPlan {
 	}
 
 	plan := SessionPlan{
-		ID:          id,
-		ArrivalMS:   r.Uniform(0, p.Scenario.ArrivalWindowMS),
-		Prefix:      pre,
-		Video:       video,
-		WatchChunks: watch,
-		Platform:    samplePlatform(r, p.Scenario.GPUFrac),
-		PathParams:  pre.Profile.SessionParams(r),
-		ClientIP:    fmt.Sprintf("10.%d.%d.%d", pre.ID/250, pre.ID%250, 1+r.Intn(250)),
+		ID:            id,
+		ArrivalMS:     p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS)),
+		Prefix:        pre,
+		Video:         video,
+		WatchChunks:   watch,
+		Platform:      samplePlatform(r, p.Scenario.GPUFrac),
+		PathParams:    pre.Profile.SessionParams(r),
+		ClientIP:      fmt.Sprintf("10.%d.%d.%d", pre.ID/250, pre.ID%250, 1+r.Intn(250)),
+		ServingPoP:    pre.PoP,
+		BackendFactor: 1,
 	}
 	plan.Stack = clientstack.NewStackProfile(plan.Platform, r)
 	if r.Bool(0.15) {
@@ -311,7 +344,46 @@ func (p *Population) PlanSession(id uint64) SessionPlan {
 			plan.ClientIP = plan.HTTPIP
 		}
 	}
+	p.applyPhaseEffects(&plan)
 	return plan
+}
+
+// warpArrival maps a nominal uniform arrival draw through the timeline's
+// precomputed arrival-rate transform (identity without a timeline).
+func (p *Population) warpArrival(u float64) float64 {
+	return p.warp.At(u)
+}
+
+// applyPhaseEffects overlays the per-session effects of the timeline
+// phase active at the plan's arrival time: network-path degradation,
+// the backend brownout factor, and PoP failover. All mutations are pure
+// functions of the already-drawn plan, so determinism and the
+// plan-replay contracts (SessionArrival, SessionPoP) are preserved.
+func (p *Population) applyPhaseEffects(plan *SessionPlan) {
+	ph := p.Scenario.Timeline.PhaseAt(plan.ArrivalMS)
+	if ph == nil {
+		return
+	}
+	e := ph.Effects
+	plan.PathParams.BaseRTTms += e.ExtraRTTms
+	plan.PathParams.RandomLossProb += e.ExtraLossProb
+	if plan.PathParams.RandomLossProb > 1 {
+		plan.PathParams.RandomLossProb = 1
+	}
+	if e.ThroughputFactor > 0 {
+		plan.PathParams.BottleneckKbps *= e.ThroughputFactor
+		// Keep the floor SessionParams enforces: a degraded link still
+		// moves some bytes.
+		if plan.PathParams.BottleneckKbps < 300 {
+			plan.PathParams.BottleneckKbps = 300
+		}
+	}
+	plan.BackendFactor = e.BackendFactor()
+	if e.PoPIsDown(plan.Prefix.PoP) {
+		plan.ServingPoP = e.FailoverPoP
+		plan.FailedOver = true
+		plan.PathParams.BaseRTTms += e.FailoverExtraRTTms
+	}
 }
 
 // SessionArrival returns session id's arrival time, replaying only the
@@ -325,15 +397,28 @@ func (p *Population) SessionArrival(id uint64) float64 {
 	p.SamplePrefix(r)
 	p.Catalog.Sample(r)
 	r.Exp(p.Scenario.MeanWatchedChunks - 1)
-	return r.Uniform(0, p.Scenario.ArrivalWindowMS)
+	return p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS))
 }
 
-// SessionPoP returns the PoP that will serve session id, replaying only
-// the prefix draw of PlanSession. It lets the runner partition sessions
-// across shards without paying for full plans twice.
+// SessionPoP returns the PoP that will serve session id. Without PoP
+// outages in the timeline it replays only the prefix draw of
+// PlanSession; with outages it also replays the arrival time (the next
+// three draws) to apply the failover active at arrival — it must agree
+// with PlanSession's ServingPoP, because the partitioner assigns each
+// session to the shard that owns its serving PoP's servers.
 func (p *Population) SessionPoP(id uint64) int {
 	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
-	return p.SamplePrefix(r).PoP
+	pop := p.SamplePrefix(r).PoP
+	if !p.Scenario.Timeline.HasPoPOutage() {
+		return pop
+	}
+	p.Catalog.Sample(r)
+	r.Exp(p.Scenario.MeanWatchedChunks - 1)
+	arrival := p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS))
+	if ph := p.Scenario.Timeline.PhaseAt(arrival); ph != nil && ph.Effects.PoPIsDown(pop) {
+		return ph.Effects.FailoverPoP
+	}
+	return pop
 }
 
 // PartitionByPoP buckets session IDs 1..NumSessions by serving PoP,
