@@ -1,13 +1,15 @@
 // Command benchdiff is the CI bench-regression gate: it parses `go test
 // -bench` output, aggregates repeated counts per benchmark (taking the
 // minimum, the least noisy statistic for a regression check), and
-// compares ns/op and B/op against a committed baseline JSON
-// (BENCH_BASELINE.json), failing when either regresses beyond the
-// threshold.
+// compares ns/op, B/op and allocs/op against a committed baseline JSON
+// (BENCH_BASELINE.json), failing when any of them regresses beyond the
+// threshold. Gating allocs/op alongside B/op catches regressions that
+// trade a few big allocations for millions of small ones — same bytes,
+// very different GC bill.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'RunParallel|StreamingRun' -benchtime=1x -count=5 -benchmem | \
+//	go test -run '^$' -bench 'BenchmarkRunParallel$|BenchmarkStreamingRun$' -benchtime=1x -count=5 -benchmem | \
 //	    go run ./cmd/benchdiff -baseline BENCH_BASELINE.json -threshold 0.25
 //
 // Regenerate the baseline after an intentional perf change with:
@@ -42,11 +44,13 @@ type Baseline struct {
 	Benchmarks map[string]BenchStat `json:"benchmarks"`
 }
 
-// BenchStat is one benchmark's reference numbers. Zero BPerOp means the
-// bench was recorded without -benchmem and B/op is not gated.
+// BenchStat is one benchmark's reference numbers. Zero BPerOp or
+// AllocsPerOp means the bench was recorded without -benchmem and that
+// metric is not gated.
 type BenchStat struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	BPerOp  float64 `json:"b_per_op,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 func main() {
@@ -135,6 +139,9 @@ func ParseBench(r io.Reader) (map[string]BenchStat, error) {
 			if prev.BPerOp != 0 && (stat.BPerOp == 0 || stat.BPerOp > prev.BPerOp) {
 				stat.BPerOp = prev.BPerOp
 			}
+			if prev.AllocsPerOp != 0 && (stat.AllocsPerOp == 0 || stat.AllocsPerOp > prev.AllocsPerOp) {
+				stat.AllocsPerOp = prev.AllocsPerOp
+			}
 		}
 		out[name] = stat
 	}
@@ -157,14 +164,16 @@ func parseMetrics(s string) (BenchStat, bool) {
 			found = true
 		case "B/op":
 			st.BPerOp = v
+		case "allocs/op":
+			st.AllocsPerOp = v
 		}
 	}
 	return st, found
 }
 
 // Compare prints the delta table and returns how many benchmarks
-// regressed beyond the threshold on ns/op or B/op. Benchmarks missing
-// from either side are reported informationally.
+// regressed beyond the threshold on ns/op, B/op or allocs/op.
+// Benchmarks missing from either side are reported informationally.
 func Compare(w io.Writer, base, got map[string]BenchStat, threshold float64) int {
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -172,8 +181,9 @@ func Compare(w io.Writer, base, got map[string]BenchStat, threshold float64) int
 	}
 	sort.Strings(names)
 	regressions := 0
-	fmt.Fprintf(w, "%-34s %14s %14s %8s %14s %14s %8s\n",
-		"benchmark", "base ns/op", "new ns/op", "Δ%", "base B/op", "new B/op", "Δ%")
+	fmt.Fprintf(w, "%-34s %14s %14s %8s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δ%", "base B/op", "new B/op", "Δ%",
+		"base allocs", "new allocs", "Δ%")
 	for _, name := range names {
 		b := base[name]
 		g, ok := got[name]
@@ -183,14 +193,16 @@ func Compare(w io.Writer, base, got map[string]BenchStat, threshold float64) int
 		}
 		nsBad := b.NsPerOp > 0 && g.NsPerOp > b.NsPerOp*(1+threshold)
 		bBad := b.BPerOp > 0 && g.BPerOp > b.BPerOp*(1+threshold)
+		allocsBad := b.AllocsPerOp > 0 && g.AllocsPerOp > b.AllocsPerOp*(1+threshold)
 		flag := ""
-		if nsBad || bBad {
+		if nsBad || bBad || allocsBad {
 			flag = "  << REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(w, "%-34s %14.0f %14.0f %7.1f%% %14.0f %14.0f %7.1f%%%s\n",
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %7.1f%% %14.0f %14.0f %7.1f%% %12.0f %12.0f %7.1f%%%s\n",
 			name, b.NsPerOp, g.NsPerOp, relPct(b.NsPerOp, g.NsPerOp),
-			b.BPerOp, g.BPerOp, relPct(b.BPerOp, g.BPerOp), flag)
+			b.BPerOp, g.BPerOp, relPct(b.BPerOp, g.BPerOp),
+			b.AllocsPerOp, g.AllocsPerOp, relPct(b.AllocsPerOp, g.AllocsPerOp), flag)
 	}
 	extra := make([]string, 0)
 	for name := range got {
@@ -233,7 +245,7 @@ func readBaseline(path string) (*Baseline, error) {
 func writeBaseline(path string, got map[string]BenchStat) error {
 	b := Baseline{
 		Schema:     1,
-		Note:       "min over -count repetitions of go test -bench; regenerate with: go test -run '^$' -bench 'RunParallel|StreamingRun' -benchtime=1x -count=5 -benchmem | go run ./cmd/benchdiff -update",
+		Note:       "min over -count repetitions of go test -bench; regenerate with: go test -run '^$' -bench 'BenchmarkRunParallel$|BenchmarkStreamingRun$' -benchtime=1x -count=5 -benchmem | go run ./cmd/benchdiff -update",
 		Benchmarks: got,
 	}
 	buf, err := json.MarshalIndent(&b, "", "  ")

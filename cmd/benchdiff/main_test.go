@@ -12,7 +12,7 @@ cpu: Fake CPU @ 2.00GHz
 BenchmarkRunParallel/p1-8         	       1	2000000000 ns/op	       900 chunks
 BenchmarkRunParallel/p1-8         	       1	1800000000 ns/op	       900 chunks
 BenchmarkStreamingRun/stream-8    	       1	 950000000 ns/op	 120000000 B/op	   50000 allocs/op
-BenchmarkStreamingRun/stream-8    	       1	 900000000 ns/op	 121000000 B/op	   50000 allocs/op
+BenchmarkStreamingRun/stream-8    	       1	 900000000 ns/op	 121000000 B/op	   49000 allocs/op
 PASS
 ok  	vidperf	12.3s
 `
@@ -36,8 +36,8 @@ func TestParseBench(t *testing.T) {
 	if !ok {
 		t.Fatalf("StreamingRun/stream missing: %v", got)
 	}
-	if st.NsPerOp != 9e8 || st.BPerOp != 1.2e8 {
-		t.Errorf("StreamingRun/stream = %+v, want min ns=9e8 B=1.2e8", st)
+	if st.NsPerOp != 9e8 || st.BPerOp != 1.2e8 || st.AllocsPerOp != 49000 {
+		t.Errorf("StreamingRun/stream = %+v, want min ns=9e8 B=1.2e8 allocs=49000", st)
 	}
 	if len(got) != 2 {
 		t.Errorf("parsed %d benchmarks, want 2: %v", len(got), got)
@@ -84,5 +84,30 @@ func TestCompareThreshold(t *testing.T) {
 		"mem":  {NsPerOp: 100, BPerOp: 1300},
 	}, 0.25); n != 1 {
 		t.Errorf("B/op regression: got %d, want 1\n%s", n, sb.String())
+	}
+}
+
+func TestCompareAllocsGate(t *testing.T) {
+	base := map[string]BenchStat{
+		"mem": {NsPerOp: 100, BPerOp: 1000, AllocsPerOp: 500},
+		"old": {NsPerOp: 100}, // recorded without -benchmem: allocs not gated
+	}
+
+	// allocs/op regression beyond threshold while ns/op and B/op are flat.
+	var sb strings.Builder
+	if n := Compare(&sb, base, map[string]BenchStat{
+		"mem": {NsPerOp: 100, BPerOp: 1000, AllocsPerOp: 700},
+		"old": {NsPerOp: 100, AllocsPerOp: 1e9},
+	}, 0.25); n != 1 {
+		t.Errorf("allocs/op regression: got %d, want 1\n%s", n, sb.String())
+	}
+
+	// Within threshold passes.
+	sb.Reset()
+	if n := Compare(&sb, base, map[string]BenchStat{
+		"mem": {NsPerOp: 100, BPerOp: 1000, AllocsPerOp: 600},
+		"old": {NsPerOp: 100},
+	}, 0.25); n != 0 {
+		t.Errorf("within-threshold allocs reported %d regressions\n%s", n, sb.String())
 	}
 }

@@ -23,7 +23,9 @@
 // with a "timeline" block) -windows. -sessions/-parallel
 // override every cell (the old sweep's laptop-scale knobs); -full-deltas
 // appends the complete per-metric delta table for every non-baseline
-// cell instead of the compact summary columns.
+// cell instead of the compact summary columns. -cpuprofile/-memprofile
+// write runtime/pprof profiles covering the whole campaign (see
+// ARCHITECTURE.md, "Performance model", for the profiling workflow).
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"vidperf/internal/analysis"
 	"vidperf/internal/experiment"
 	"vidperf/internal/figures"
+	"vidperf/internal/profiling"
 	"vidperf/internal/telemetry"
 )
 
@@ -46,8 +49,10 @@ var (
 	outDir     = flag.String("out", "", "directory for per-cell snapshot files (omit to keep snapshots in memory)")
 	workers    = flag.Int("workers", 1, "max cells simulated concurrently")
 	sessions   = flag.Int("sessions", 0, "override every cell's session count (0 = per spec)")
-	parallel   = flag.Int("parallel", 0, "override every cell's PoP-shard parallelism (0 = per spec)")
+	parallel   = flag.Int("parallel", 0, "override every cell's shard parallelism (0 = per spec)")
 	fullDeltas = flag.Bool("full-deltas", false, "print the full per-metric delta table for each non-baseline cell")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
+	memProfile = flag.String("memprofile", "", "write an allocation profile to this file on successful exit (go tool pprof)")
 )
 
 func main() {
@@ -65,6 +70,19 @@ func main() {
 		}
 		return
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Runs on the normal exit path; fatal error paths (os.Exit) skip it,
+	// which is fine — a campaign that died produced no profile worth
+	// keeping.
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	sp := loadSpec()
 	// Cell scenarios inherit the spec scenario, so the laptop-scale

@@ -7,9 +7,13 @@
 //
 //	vodsim -sessions 20000 -seed 1 -out trace.jsonl [-chunks-csv chunks.csv]
 //	       [-sessions-csv sessions.csv] [-abr hybrid] [-cold] [-filter-proxies]
-//	       [-parallel 0]
+//	       [-parallel 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// The simulation is sharded by PoP and executed on up to -parallel engines
+// -cpuprofile and -memprofile (usable in every mode, including -spec)
+// write runtime/pprof profiles of the actual campaign for go tool pprof;
+// see ARCHITECTURE.md's "Performance model" for the profiling workflow.
+//
+// The simulation is sharded by CDN server and executed on up to -parallel engines
 // at once; the written trace is byte-identical at every -parallel value.
 //
 // With -stream the campaign runs through the internal/telemetry subsystem
@@ -59,6 +63,7 @@ import (
 	"vidperf/internal/core"
 	"vidperf/internal/diagnose"
 	"vidperf/internal/experiment"
+	"vidperf/internal/profiling"
 	"vidperf/internal/session"
 	"vidperf/internal/telemetry"
 	"vidperf/internal/workload"
@@ -75,7 +80,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "master scenario seed")
 		abrName     = flag.String("abr", "hybrid", "ABR algorithm (hybrid, rate-smoothed, rate-instant, rate-instant-screened, buffer-based, server-signal, fixed-low, fixed-high)")
 		cold        = flag.Bool("cold", false, "skip CDN cache pre-warming (cold-start ablation)")
-		parallel    = flag.Int("parallel", 0, "max PoP shards simulated concurrently (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
+		parallel    = flag.Int("parallel", 0, "max server-slot shards simulated concurrently (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 		filterProxy = flag.Bool("filter-proxies", false, "apply the §3 proxy preprocessing before writing")
 		stream      = flag.Bool("stream", false, "streaming telemetry mode: aggregate into bounded-memory sketches and write a snapshot instead of a trace")
 		diagnoseF   = flag.Bool("diagnose", false, "classify every session's dominant bottleneck (internal/diagnose) during the streamed run; requires -stream or -spec")
@@ -84,6 +89,8 @@ func main() {
 		out         = flag.String("out", "trace.jsonl", "output path (JSONL trace, or JSON snapshot with -stream)")
 		chunksCSV   = flag.String("chunks-csv", "", "optional CSV export of the chunk table")
 		sessCSV     = flag.String("sessions-csv", "", "optional CSV export of the session table")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on successful exit (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -94,6 +101,8 @@ func main() {
 		if err := validateSpecFlags(set, *sketchK, flag.Args()); err != nil {
 			log.Fatalf("invalid flags: %v", err)
 		}
+		stopProfiles := startProfiles(*cpuProfile, *memProfile)
+		defer stopProfiles()
 		runSpec(*spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *diagnoseF, *out)
 		return
 	}
@@ -102,6 +111,8 @@ func main() {
 		*stream, *diagnoseF, *filterProxy, *chunksCSV, *sessCSV, flag.Args()); err != nil {
 		log.Fatalf("invalid flags: %v", err)
 	}
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	sc := workload.Scenario{
 		Seed:        *seed,
@@ -196,7 +207,7 @@ func validateFlags(sessions, prefixes, videos, parallel, sketchK int,
 var specOverridableFlags = map[string]bool{
 	"spec": true, "out": true, "parallel": true, "seed": true,
 	"sessions": true, "prefixes": true, "videos": true, "sketch-k": true,
-	"diagnose": true,
+	"diagnose": true, "cpuprofile": true, "memprofile": true,
 }
 
 // validateSpecFlags rejects flag combinations that contradict spec mode:
@@ -297,6 +308,21 @@ func runStreaming(sc workload.Scenario, sketchK int, diag bool, out string) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", out)
+}
+
+// startProfiles wires the -cpuprofile/-memprofile flags. The returned
+// stop runs on main's normal exit; fatal error paths (os.Exit) skip it,
+// which is fine — a run that died produced no profile worth keeping.
+func startProfiles(cpuPath, memPath string) func() {
+	stop, err := profiling.Start(cpuPath, memPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return func() {
+		if err := stop(); err != nil {
+			log.Print(err)
+		}
+	}
 }
 
 func writeTrace(path string, ds *core.Dataset) error {

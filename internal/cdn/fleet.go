@@ -70,28 +70,71 @@ func NewPoPFleet(cfg FleetConfig, seed uint64, popID int) *Fleet {
 	return f
 }
 
-// buildPoP constructs one PoP's server slice. The PoP's RNG root is
-// derived from (seed, popID) alone — not from a shared sequential stream —
-// which is what makes sharded and whole-fleet construction agree.
+// NewSlotFleet builds a partial fleet holding a single server: slot
+// `slot` of PoP popID. The per-PoP RNG stream is advanced past the
+// earlier slots exactly as buildPoP would, so the one server is
+// identical to the same slot inside a full PoP — the property that lets
+// the session runner shard below PoP granularity. An out-of-range popID
+// clamps to 0 (mirroring ServerFor's fallback); slot must be a value
+// SlotFor can return, i.e. in [0, ServersPerPoP).
+func NewSlotFleet(cfg FleetConfig, seed uint64, popID, slot int) *Fleet {
+	cfg = cfg.WithDefaults()
+	if popID < 0 || popID >= cfg.NumPoPs {
+		popID = 0
+	}
+	if slot < 0 || slot >= cfg.ServersPerPoP {
+		panic("cdn: NewSlotFleet slot out of range")
+	}
+	f := &Fleet{cfg: cfg, pops: make([][]*Server, cfg.NumPoPs)}
+	r := popRand(seed, popID)
+	for s := 0; s < slot; s++ {
+		r.Split() // backend stream of the earlier slot
+		r.Split() // server stream of the earlier slot
+	}
+	servers := make([]*Server, cfg.ServersPerPoP)
+	servers[slot] = buildSlot(cfg, popID, slot, r)
+	f.pops[popID] = servers
+	return f
+}
+
+// popRand derives a PoP's RNG root from (seed, popID) alone — not from a
+// shared sequential stream — which is what makes sharded and whole-fleet
+// construction agree.
+func popRand(seed uint64, popID int) *stats.Rand {
+	return stats.NewRand(mix(seed^0x5eed5eed5eed5eed) ^ mix(uint64(popID)+1))
+}
+
+// buildPoP constructs one PoP's server slice.
 func buildPoP(cfg FleetConfig, seed uint64, popID int) []*Server {
-	r := stats.NewRand(mix(seed^0x5eed5eed5eed5eed) ^ mix(uint64(popID)+1))
+	r := popRand(seed, popID)
 	servers := make([]*Server, cfg.ServersPerPoP)
 	for slot := 0; slot < cfg.ServersPerPoP; slot++ {
-		id := popID*cfg.ServersPerPoP + slot
-		be := backend.New(cfg.Backend, r.Split())
-		servers[slot] = NewServer(id, popID, cfg.Server, be, r.Split())
+		servers[slot] = buildSlot(cfg, popID, slot, r)
 	}
 	return servers
+}
+
+// buildSlot constructs one server, drawing its backend and server RNG
+// streams from the PoP stream in slot order.
+func buildSlot(cfg FleetConfig, popID, slot int, r *stats.Rand) *Server {
+	id := popID*cfg.ServersPerPoP + slot
+	be := backend.New(cfg.Backend, r.Split())
+	return NewServer(id, popID, cfg.Server, be, r.Split())
 }
 
 // Config returns the effective fleet configuration.
 func (f *Fleet) Config() FleetConfig { return f.cfg }
 
-// NumServers returns the number of servers actually built.
+// NumServers returns the number of servers actually built. Slot fleets
+// count only their single server.
 func (f *Fleet) NumServers() int {
 	n := 0
 	for _, srvs := range f.pops {
-		n += len(srvs)
+		for _, srv := range srvs {
+			if srv != nil {
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -100,7 +143,11 @@ func (f *Fleet) NumServers() int {
 func (f *Fleet) Servers() []*Server {
 	out := make([]*Server, 0, f.NumServers())
 	for _, srvs := range f.pops {
-		out = append(out, srvs...)
+		for _, srv := range srvs {
+			if srv != nil {
+				out = append(out, srv)
+			}
+		}
 	}
 	return out
 }
@@ -139,13 +186,21 @@ func (f *Fleet) ClampPoP(popID int) int {
 // servers to balance load.
 func (f *Fleet) ServerFor(popID, videoID, videoRank int, sessionID uint64) *Server {
 	popID = f.ClampPoP(popID)
-	var slot int
-	if f.cfg.PartitionTopRanks > 0 && videoRank < f.cfg.PartitionTopRanks {
-		slot = int(mix(uint64(videoID)*0x9e3779b97f4a7c15^sessionID) % uint64(f.cfg.ServersPerPoP))
-	} else {
-		slot = int(mix(uint64(videoID)) % uint64(f.cfg.ServersPerPoP))
+	return f.pops[popID][SlotFor(f.cfg, videoID, videoRank, sessionID)]
+}
+
+// SlotFor returns the server slot within a PoP that ServerFor maps the
+// (video, session) pair to. It is exported so partitioners can bucket
+// sessions at server granularity before any server exists; cfg must be
+// the effective configuration (FleetConfig.WithDefaults). A session
+// touches exactly one slot for its whole lifetime — the video is fixed
+// and, for partitioned top ranks, the hash includes the session ID but
+// not the chunk — which is what makes per-server sharding sound.
+func SlotFor(cfg FleetConfig, videoID, videoRank int, sessionID uint64) int {
+	if cfg.PartitionTopRanks > 0 && videoRank < cfg.PartitionTopRanks {
+		return int(mix(uint64(videoID)*0x9e3779b97f4a7c15^sessionID) % uint64(cfg.ServersPerPoP))
 	}
-	return f.pops[popID][slot]
+	return int(mix(uint64(videoID)) % uint64(cfg.ServersPerPoP))
 }
 
 // PoPServers returns the servers of one PoP (for warmup and inspection),

@@ -201,10 +201,12 @@ type SessionRecord struct {
 // aggregates and discards it.
 //
 // ConsumeSession receives the session record and its chunks in ChunkID
-// order. The chunks slice is handed over by the caller and must not be
-// mutated by the sink; sinks that outlive the call must copy what they
-// keep. Implementations need not be safe for concurrent use — the sharded
-// runner gives every shard its own sink.
+// order. The chunks slice is valid only for the duration of the call: the
+// caller recycles the backing array for later sessions, so sinks must not
+// mutate it and must copy (not alias) anything they keep — Dataset's
+// append of the chunk values does exactly that. Implementations need not
+// be safe for concurrent use — the sharded runner gives every shard its
+// own sink.
 type RecordSink interface {
 	ConsumeSession(s SessionRecord, chunks []ChunkRecord)
 }
@@ -231,11 +233,35 @@ type Dataset struct {
 	byID map[uint64]int // session index
 }
 
+// RecordReserver is optionally implemented by sinks that can pre-size
+// their storage. The sharded runner calls it right after building a
+// shard's sink with the shard's session count and planned chunk total
+// (an upper bound — abandonment shortens sessions), which spares a
+// materializing sink the incremental append growth.
+type RecordReserver interface {
+	ReserveRecords(sessions, chunks int)
+}
+
 // ConsumeSession implements RecordSink by appending the records; the
 // canonical order is restored by Merge/SortCanonical afterwards.
 func (d *Dataset) ConsumeSession(s SessionRecord, chunks []ChunkRecord) {
 	d.Sessions = append(d.Sessions, s)
 	d.Chunks = append(d.Chunks, chunks...)
+}
+
+// ReserveRecords implements RecordReserver: it grows the session and
+// chunk buffers once, to their final (or slightly over-estimated) size.
+func (d *Dataset) ReserveRecords(sessions, chunks int) {
+	if need := len(d.Sessions) + sessions; cap(d.Sessions) < need {
+		s := make([]SessionRecord, len(d.Sessions), need)
+		copy(s, d.Sessions)
+		d.Sessions = s
+	}
+	if need := len(d.Chunks) + chunks; cap(d.Chunks) < need {
+		c := make([]ChunkRecord, len(d.Chunks), need)
+		copy(c, d.Chunks)
+		d.Chunks = c
+	}
 }
 
 // Index builds the session lookup table; call after mutating Sessions.

@@ -1,0 +1,59 @@
+// Package profiling backs the CLIs' -cpuprofile/-memprofile flags with
+// runtime/pprof, so a slow or allocation-heavy campaign can be profiled
+// in situ (the exact scenario, spec and flags under investigation)
+// instead of reconstructed as a benchmark. The output files feed
+// `go tool pprof`; ARCHITECTURE.md's "Performance model" section
+// documents the workflow.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a
+// stop function that ends the CPU profile and, when memPath is
+// non-empty, writes an allocation profile there. Either path may be
+// empty; the returned stop is always safe to call exactly once. Call it
+// on the normal exit path — a run that dies mid-way has no profile
+// worth keeping.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close %s: %w", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// Flush pending frees so the "inuse" view reflects reachable
+			// memory, not GC timing; the "alloc" view is unaffected.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: write %s: %w", memPath, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: close %s: %w", memPath, err)
+			}
+		}
+		return nil
+	}, nil
+}

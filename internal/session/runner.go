@@ -9,14 +9,16 @@
 // of sessions so the servers' caches and worker pools see a realistic
 // request mix.
 //
-// Execution is sharded by PoP. Sessions never cross PoPs (the fleet maps
-// every session to its prefix's PoP), so the campaign splits into one
-// closed event system per PoP: the runner plans the partition, executes
-// each shard on its own sim.Engine — up to Scenario.Parallelism engines
-// concurrently — and merges the per-shard datasets into the canonical
-// (SessionID, ChunkID) order. Because every random stream derives from
-// (seed, PoP) or (seed, session ID) alone, the merged trace is
-// byte-identical at any parallelism level.
+// Execution is sharded at server granularity. A session's chunks all land
+// on one server — the slot is a pure function of (video, session), see
+// cdn.SlotFor — and servers within a PoP share no mutable state, so the
+// campaign splits into one closed event system per (PoP, server slot)
+// pair: the runner plans the partition, executes each shard on its own
+// sim.Engine — up to Scenario.Parallelism engines concurrently — and
+// merges the per-shard outputs in the canonical ascending (PoP, slot)
+// order. Because every random stream derives from (seed, PoP, slot) or
+// (seed, session ID) alone, the merged trace is byte-identical at any
+// parallelism level. See ARCHITECTURE.md, "Performance model".
 package session
 
 import (
@@ -66,11 +68,13 @@ func Run(sc workload.Scenario) (*core.Dataset, error) {
 	return RunOnPopulation(workload.Build(sc))
 }
 
-// SinkFactory builds the core.RecordSink for one PoP shard. The runner
-// calls it once per non-empty shard, during the sequential plan phase in
-// ascending PoP order, so factories need no locking of their own. The
-// returned sink receives the shard's finished sessions from that shard's
-// goroutine only.
+// SinkFactory builds the core.RecordSink for one shard. The runner calls
+// it once per non-empty shard — several times per PoP, since shards are
+// per server slot — during the sequential plan phase in ascending
+// (PoP, slot) order, so factories need no locking of their own and may
+// rely on call order as the canonical merge order. The returned sink
+// receives the shard's finished sessions from that shard's goroutine
+// only.
 type SinkFactory func(popID int) core.RecordSink
 
 // RunWithSinks executes the scenario in streaming mode: finished sessions
@@ -86,19 +90,18 @@ func RunWithSinks(sc workload.Scenario, factory SinkFactory) error {
 
 // RunOnPopulation executes sessions against an already-built population
 // (so benches can reuse one population across variants). It proceeds in
-// three phases: plan (partition sessions by PoP), execute (one engine per
-// shard, Scenario.Parallelism shards at a time), merge (canonical order).
+// three phases: plan (partition sessions by server), execute (one engine
+// per shard, Scenario.Parallelism shards at a time), merge (canonical
+// order).
 func RunOnPopulation(pop *workload.Population) (*core.Dataset, error) {
-	var col core.Collector
+	var col core.SpanCollector
 	err := RunOnPopulationWithSinks(pop, func(int) core.RecordSink {
-		ds := &core.Dataset{}
-		col.Add(ds)
-		return ds
+		return col.NewSink()
 	})
 	if err != nil {
 		return nil, err
 	}
-	return col.Merge(), nil
+	return col.Dataset(), nil
 }
 
 // RunOnPopulationWithSinks is RunWithSinks against an already-built
@@ -112,22 +115,48 @@ func RunOnPopulationWithSinks(pop *workload.Population, factory SinkFactory) err
 	return nil
 }
 
-// popShard is one PoP's slice of the campaign: the sessions it serves,
-// its private fleet partition, engine, and record sink. Shards share
-// only the immutable population.
-type popShard struct {
+// slotShard is one server's slice of the campaign: the sessions it
+// serves, its private single-server fleet partition, engine, and record
+// sink. Shards share only the immutable population.
+type slotShard struct {
 	pop   *workload.Population
-	ids   []uint64
+	refs  []workload.SessionRef
+	popID int
+	slot  int
 	algo  abr.Algorithm
 	shard sim.Shard
 	sink  core.RecordSink
+
+	// recPool recycles finished sessions' ChunkRecord buffers (sinks copy
+	// what they keep, per the core.RecordSink contract) so steady-state
+	// execution allocates no per-chunk storage. srtt is the finish-time
+	// scratch for the per-session SRTT series.
+	recPool [][]core.ChunkRecord
+	srtt    []float64
 }
 
-// planShards partitions the campaign by PoP and validates the scenario.
-// It is the phase where configuration errors surface, before any of the
-// expensive per-shard work starts. Sink factories run here, sequentially
-// in ascending PoP order.
-func planShards(pop *workload.Population, factory SinkFactory) ([]*popShard, error) {
+// getRecords hands out a recycled chunk-record buffer, or a fresh one
+// sized for the session's planned watch length.
+func (sh *slotShard) getRecords(capHint int) []core.ChunkRecord {
+	if n := len(sh.recPool); n > 0 {
+		b := sh.recPool[n-1]
+		sh.recPool = sh.recPool[:n-1]
+		return b
+	}
+	return make([]core.ChunkRecord, 0, capHint)
+}
+
+// putRecords returns a finished session's buffer to the pool. The caller
+// must be done with every record in it.
+func (sh *slotShard) putRecords(b []core.ChunkRecord) {
+	sh.recPool = append(sh.recPool, b[:0])
+}
+
+// planShards partitions the campaign by (PoP, server slot) and validates
+// the scenario. It is the phase where configuration errors surface,
+// before any of the expensive per-shard work starts. Sink factories run
+// here, sequentially in ascending (PoP, slot) order.
+func planShards(pop *workload.Population, factory SinkFactory) ([]*slotShard, error) {
 	sc := pop.Scenario
 	cfg := sc.Fleet.WithDefaults()
 	if err := sc.Timeline.Validate(); err != nil {
@@ -136,61 +165,70 @@ func planShards(pop *workload.Population, factory SinkFactory) ([]*popShard, err
 	if err := sc.Timeline.ValidatePoPs(cfg.NumPoPs); err != nil {
 		return nil, err
 	}
-	parts := pop.PartitionByPoP(cfg.NumPoPs)
-	shards := make([]*popShard, 0, len(parts))
-	for popID, ids := range parts {
-		if len(ids) == 0 {
+	parts, plannedChunks := pop.PartitionBySlot(cfg)
+	shards := make([]*slotShard, 0, len(parts))
+	for bucket, refs := range parts {
+		if len(refs) == 0 {
 			continue
 		}
 		algo, err := NewABR(sc.ABRName)
 		if err != nil {
 			return nil, err
 		}
-		shards = append(shards, &popShard{
+		popID, slot := bucket/cfg.ServersPerPoP, bucket%cfg.ServersPerPoP
+		sink := factory(popID)
+		if r, ok := sink.(core.RecordReserver); ok {
+			r.ReserveRecords(len(refs), plannedChunks[bucket])
+		}
+		shards = append(shards, &slotShard{
 			pop:   pop,
-			ids:   ids,
+			refs:  refs,
+			popID: popID,
+			slot:  slot,
 			algo:  algo,
-			shard: sim.Shard{ID: popID},
-			sink:  factory(popID),
+			shard: sim.Shard{ID: bucket, Weight: plannedChunks[bucket]},
+			sink:  sink,
 		})
 	}
 	return shards, nil
 }
 
 // executeShards runs every shard's event loop, at most parallelism at a
-// time.
-func executeShards(parallelism int, shards []*popShard) {
-	byPoP := make(map[int]*popShard, len(shards))
+// time. Shard weights (session counts) let the scheduler start the
+// heaviest shards first so the run's tail is not one hot server.
+func executeShards(parallelism int, shards []*slotShard) {
+	byID := make(map[int]*slotShard, len(shards))
 	simShards := make([]*sim.Shard, 0, len(shards))
 	for _, sh := range shards {
-		byPoP[sh.shard.ID] = sh
+		byID[sh.shard.ID] = sh
 		simShards = append(simShards, &sh.shard)
 	}
 	sim.RunShards(parallelism, simShards, func(s *sim.Shard) {
-		byPoP[s.ID].run()
+		byID[s.ID].run()
 	})
 }
 
-// run builds the shard's fleet partition, warms it, schedules the shard's
-// session arrivals, and drains the event loop. Everything it touches is
-// shard-private except the read-only population. Session state (TCP
-// connection, player, ABR estimator) is created at arrival time and
-// becomes garbage once the session's records are handed to the sink, so a
-// streaming sink keeps the shard's live heap proportional to concurrently
-// playing sessions rather than to the whole campaign.
-func (sh *popShard) run() {
+// run builds the shard's single-server fleet partition, warms it,
+// schedules the shard's session arrivals, and drains the event loop.
+// Everything it touches is shard-private except the read-only population.
+// Session state (TCP connection, player, ABR estimator) is created at
+// arrival time and becomes garbage once the session's records are handed
+// to the sink, so a streaming sink keeps the shard's live heap
+// proportional to concurrently playing sessions rather than to the whole
+// campaign.
+func (sh *slotShard) run() {
 	sc := sh.pop.Scenario
-	popID := sh.shard.ID
-	fleet := cdn.NewPoPFleet(sc.Fleet, sc.Seed, popID)
+	fleet := cdn.NewSlotFleet(sc.Fleet, sc.Seed, sh.popID, sh.slot)
 	if !sc.ColdStart {
-		WarmPoP(fleet, sh.pop.Catalog, popID)
+		WarmPoP(fleet, sh.pop.Catalog, sh.popID)
 	}
 	eng := &sh.shard.Engine
-	scheduleTimelineEvents(eng, fleet, popID, sc.Timeline)
-	for _, id := range sh.ids {
-		eng.At(sh.pop.SessionArrival(id), func(float64) {
+	scheduleTimelineEvents(eng, fleet, sh.popID, sc.Timeline)
+	for _, ref := range sh.refs {
+		id := ref.ID
+		eng.At(ref.ArrivalMS, func(float64) {
 			plan := sh.pop.PlanSession(id)
-			newSessionState(sh.pop, plan, sh.algo, fleet, eng, sh.sink).requestNextChunk()
+			newSessionState(sh, plan, fleet, eng).requestNextChunk()
 		})
 	}
 	eng.Run()
@@ -202,7 +240,8 @@ func (sh *popShard) run() {
 // so at equal timestamps the capacity change is applied before sessions
 // arriving at that exact instant — the same deterministic order on every
 // run and at every parallelism, since each shard mutates only its own
-// servers inside its own event system.
+// servers inside its own event system. A partial fleet's server slice
+// has nil entries for slots other shards own; they are skipped.
 func scheduleTimelineEvents(eng *sim.Engine, fleet *cdn.Fleet, popID int, tl timeline.Timeline) {
 	for _, ph := range tl.Phases {
 		f := ph.Effects.CacheCapacityFactor
@@ -213,6 +252,9 @@ func scheduleTimelineEvents(eng *sim.Engine, fleet *cdn.Fleet, popID int, tl tim
 		resize := func(factor float64) func(float64) {
 			return func(float64) {
 				for _, srv := range servers {
+					if srv == nil {
+						continue
+					}
 					cfg := srv.Config()
 					srv.Cache().Resize(scaleBytes(cfg.RAMBytes, factor), scaleBytes(cfg.DiskBytes, factor))
 				}

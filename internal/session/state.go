@@ -18,8 +18,10 @@ import (
 
 // sessionState is one in-flight session. Its randomness derives from
 // (scenario seed, session ID) only, and it touches only its own shard's
-// engine, fleet partition, and dataset.
+// engine, fleet partition, and sink. Its chunk-record buffer is borrowed
+// from the shard's pool and returned when the session finishes.
 type sessionState struct {
+	shard *slotShard
 	pop   *workload.Population
 	plan  workload.SessionPlan
 	algo  abr.Algorithm
@@ -43,22 +45,25 @@ type sessionState struct {
 	prevRebufMS float64
 }
 
-func newSessionState(pop *workload.Population, plan workload.SessionPlan,
-	algo abr.Algorithm, fleet *cdn.Fleet, eng *sim.Engine, sink core.RecordSink) *sessionState {
+func newSessionState(sh *slotShard, plan workload.SessionPlan,
+	fleet *cdn.Fleet, eng *sim.Engine) *sessionState {
 
+	pop := sh.pop
 	r := stats.NewRand(pop.Scenario.Seed ^ (plan.ID * 0xdeadbeefcafef00d))
 	return &sessionState{
-		pop:   pop,
-		plan:  plan,
-		algo:  algo,
-		fleet: fleet,
-		eng:   eng,
-		sink:  sink,
-		r:     r,
-		conn:  tcpmodel.New(plan.PathParams, r.Split()),
-		cong:  plan.Prefix.Profile.NewCongestion(r),
-		play:  player.New(pop.Scenario.StartThresholdSec),
-		est:   abr.NewEstimator(0.3),
+		shard:   sh,
+		pop:     pop,
+		plan:    plan,
+		algo:    sh.algo,
+		fleet:   fleet,
+		eng:     eng,
+		sink:    sh.sink,
+		r:       r,
+		conn:    tcpmodel.New(plan.PathParams, r.Split()),
+		cong:    plan.Prefix.Profile.NewCongestion(r),
+		play:    player.New(pop.Scenario.StartThresholdSec),
+		est:     abr.NewEstimator(0.3),
+		records: sh.getRecords(plan.WatchChunks),
 	}
 }
 
@@ -217,11 +222,14 @@ func (s *sessionState) finish() {
 	cs := core.ComputeSessionChunkStats(s.records)
 
 	// The session's SRTT series is the per-chunk kernel snapshot (Table 2,
-	// "CDN TCP layer"), one equally-weighted sample per chunk.
-	srttSeries := make([]float64, 0, len(s.records))
+	// "CDN TCP layer"), one equally-weighted sample per chunk. The slice
+	// is shard-level scratch: sessions finish one at a time within a
+	// shard's engine, and the stats helpers retain nothing.
+	srttSeries := s.shard.srtt[:0]
 	for i := range s.records {
 		srttSeries = append(srttSeries, s.records[i].SRTTms)
 	}
+	s.shard.srtt = srttSeries[:0]
 	var srttMin, srttMean, srttStd, srttCV float64
 	if len(srttSeries) > 0 {
 		srttMin = stats.Min(srttSeries)
@@ -279,6 +287,10 @@ func (s *sessionState) finish() {
 		rec.StartupMS = math.NaN()
 	}
 	s.sink.ConsumeSession(rec, s.records)
+	// The sink contract says chunks are valid only for the duration of the
+	// call, so the buffer can be recycled for the shard's next session.
+	s.shard.putRecords(s.records)
+	s.records = nil
 }
 
 func (s *sessionState) serverID() int {

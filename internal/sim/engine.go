@@ -6,14 +6,13 @@
 //
 // Time is a float64 in milliseconds. Events scheduled for the same instant
 // fire in scheduling order (a monotonically increasing sequence number
-// breaks ties), which keeps runs reproducible.
+// breaks ties), which keeps runs reproducible: (at, seq) is a strict total
+// order, so the pop sequence is independent of the heap's internal layout.
 //
 // An Engine is strictly single-goroutine. Scaling comes from partitioning:
-// a campaign splits into disjoint event systems (one per PoP), each on its
-// own Engine wrapped in a Shard, executed concurrently by RunShards.
+// a campaign splits into disjoint event systems (one per CDN server), each
+// on its own Engine wrapped in a Shard, executed concurrently by RunShards.
 package sim
-
-import "container/heap"
 
 // Event is a callback scheduled to run at a simulated time.
 type Event func(now float64)
@@ -24,23 +23,45 @@ type item struct {
 	fn  Event
 }
 
+// eventHeap is a hand-rolled binary min-heap over (at, seq). It avoids
+// container/heap's interface boxing, which allocated one escape per push
+// on the hottest scheduling path in the simulator.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
 }
 
 // Engine is a future-event-list simulator. The zero value is ready to use.
@@ -63,7 +84,8 @@ func (e *Engine) At(at float64, fn Event) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, item{at: at, seq: e.seq, fn: fn})
+	e.events = append(e.events, item{at: at, seq: e.seq, fn: fn})
+	e.events.siftUp(len(e.events) - 1)
 }
 
 // After schedules fn to run delay milliseconds from now.
@@ -74,12 +96,25 @@ func (e *Engine) After(delay float64, fn Event) {
 	e.At(e.now+delay, fn)
 }
 
+// pop removes and returns the earliest event, releasing the vacated
+// slot's closure so finished callbacks do not linger in the backing array.
+func (e *Engine) pop() item {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = item{}
+	e.events = h[:n]
+	e.events.siftDown(0)
+	return top
+}
+
 // Step executes the single earliest event. It reports whether an event ran.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.events).(item)
+	it := e.pop()
 	e.now = it.at
 	it.fn(e.now)
 	return true

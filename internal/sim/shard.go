@@ -2,32 +2,50 @@ package sim
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 )
 
 // Shard is one independent event timeline of a partitioned simulation.
-// The session runner shards the campaign by PoP — sessions never cross
-// PoPs, so each PoP's servers, connections, and players form a closed
+// The session runner shards the campaign by server — sessions never cross
+// servers, so each server, its connections, and its players form a closed
 // event system that can run on its own Engine without synchronization.
 //
 // A Shard's Engine is single-goroutine like any other Engine; parallelism
 // comes from running disjoint shards on separate goroutines (RunShards).
 type Shard struct {
-	ID     int // the partition key (the PoP ID for the session runner)
+	ID int // the partition key (PoP*ServersPerPoP+slot for the session runner)
+	// Weight is the shard's relative work estimate (the session runner
+	// uses its session count). RunShards dispatches heavier shards first
+	// so one hot shard does not become the run's serial tail; 0 means
+	// unknown and sorts last.
+	Weight int
 	Engine Engine
 }
 
 // RunShards calls run(shard) for every shard, keeping at most parallelism
 // invocations in flight. parallelism <= 0 means GOMAXPROCS; 1 executes the
-// shards sequentially in slice order on the calling goroutine.
+// shards sequentially in slice order on the calling goroutine. Requests
+// beyond GOMAXPROCS are clamped to it: extra goroutines cannot add CPU,
+// but they would interleave allocation-heavy shard setups and inflate the
+// live heap — the regression that made high parallelism a pessimization
+// on small machines.
+//
+// When running in parallel, shards are dispatched heaviest-first (by
+// Weight, ties in slice order) so the long shards start early and the
+// short ones pack into the gaps — classic LPT scheduling.
 //
 // run must confine itself to the shard's own state: shards may not share
 // mutable structures (engines, servers, datasets, RNG streams). Under that
-// contract the results are independent of parallelism, so a parallel run
-// is byte-identical to a sequential one after a deterministic merge.
+// contract the results are independent of parallelism and of dispatch
+// order, so a parallel run is byte-identical to a sequential one after a
+// deterministic merge.
 func RunShards(parallelism int, shards []*Shard, run func(*Shard)) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if max := runtime.GOMAXPROCS(0); parallelism > max {
+		parallelism = max
 	}
 	if parallelism > len(shards) {
 		parallelism = len(shards)
@@ -38,9 +56,12 @@ func RunShards(parallelism int, shards []*Shard, run func(*Shard)) {
 		}
 		return
 	}
+	order := make([]*Shard, len(shards))
+	copy(order, shards)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Weight > order[j].Weight })
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
-	for _, s := range shards {
+	for _, s := range order {
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(s *Shard) {

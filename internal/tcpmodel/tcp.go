@@ -129,6 +129,10 @@ type Conn struct {
 	retransTotal int
 	queuedBytes  float64 // standing queue at the bottleneck
 	extraDelayMS float64 // time-varying path delay (cross-traffic congestion)
+
+	// snaps is the reused backing array for TransferResult.Snapshots, so
+	// steady-state chunk transfers allocate nothing for sampling.
+	snaps []TCPInfo
 }
 
 // SampleIntervalMS is the tcp_info sampling period (paper: 500 ms).
@@ -271,10 +275,10 @@ func (c *Conn) SSAfterIdleWouldTrigger(ms float64) bool {
 
 // maybeSample appends a snapshot if at least SampleIntervalMS of
 // connection time has passed since the last one.
-func (c *Conn) maybeSample(snaps *[]TCPInfo) {
+func (c *Conn) maybeSample() {
 	if c.clockMS-c.lastSampleMS >= SampleIntervalMS {
 		c.lastSampleMS = c.clockMS
-		*snaps = append(*snaps, c.Info())
+		c.snaps = append(c.snaps, c.Info())
 	}
 }
 
@@ -309,11 +313,15 @@ func (c *Conn) lossesInWindow(n int, windowBytes float64) int {
 
 // Transfer delivers size bytes to the client and returns the chunk's
 // delivery metrics. The connection's congestion state persists across
-// calls, so a session's later chunks start with the grown window.
+// calls, so a session's later chunks start with the grown window. The
+// result's Snapshots slice is backed by a per-connection scratch buffer
+// and is valid only until the next Transfer on this connection; callers
+// that keep it longer must copy it.
 func (c *Conn) Transfer(size int64) TransferResult {
 	if size <= 0 {
 		return TransferResult{CwndEnd: c.cwnd, SRTTEnd: c.srtt}
 	}
+	c.snaps = c.snaps[:0]
 	res := TransferResult{}
 	bytesLeft := float64(size)
 	rate := c.rateBytesPerMS()
@@ -354,7 +362,7 @@ func (c *Conn) Transfer(size int64) TransferResult {
 			res.FirstRoundMS = roundTime
 		}
 		res.TotalMS += roundTime
-		c.maybeSample(&res.Snapshots)
+		c.maybeSample()
 
 		bytesLeft -= delivered
 
@@ -368,7 +376,7 @@ func (c *Conn) Transfer(size int64) TransferResult {
 			res.TotalMS += timeout
 			c.ssthresh = maxInt(c.cwnd/2, 2)
 			c.cwnd = c.p.InitCwnd
-			c.maybeSample(&res.Snapshots)
+			c.maybeSample()
 		case lost > 0:
 			// Fast retransmit / fast recovery: multiplicative decrease,
 			// one extra round to retransmit.
@@ -379,7 +387,7 @@ func (c *Conn) Transfer(size int64) TransferResult {
 			c.clockMS += recovery
 			res.TotalMS += recovery
 			res.Rounds++
-			c.maybeSample(&res.Snapshots)
+			c.maybeSample()
 		default:
 			// Congestion-window validation (RFC 2861): an application-
 			// limited round (partial window) must not grow the window —
@@ -417,7 +425,8 @@ func (c *Conn) Transfer(size int64) TransferResult {
 	}
 
 	// Final mandatory per-chunk snapshot.
-	res.Snapshots = append(res.Snapshots, c.Info())
+	c.snaps = append(c.snaps, c.Info())
+	res.Snapshots = c.snaps
 	res.CwndEnd = c.cwnd
 	res.SRTTEnd = c.srtt
 	if res.TotalMS > res.FirstRoundMS {

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"vidperf/internal/core"
@@ -209,14 +208,15 @@ func (a *Accumulator) snapshot() *Snapshot {
 	}
 }
 
-// Campaign owns the per-PoP accumulators of one streamed run. Its Sink
-// method is a session.SinkFactory; after the run, Snapshot merges the
-// shards in canonical (ascending) PoP order — the determinism rule that
-// keeps streamed output byte-identical at any parallelism.
+// Campaign owns the per-shard accumulators of one streamed run. Its Sink
+// method is a session.SinkFactory; every call mints a fresh accumulator,
+// and Snapshot merges them in the order the runner created them — the
+// runner's canonical ascending (PoP, server-slot) plan order, which is
+// what keeps streamed output byte-identical at any parallelism.
 type Campaign struct {
-	mu     sync.Mutex
-	cfg    Config
-	perPoP map[int]*Accumulator
+	mu   sync.Mutex
+	cfg  Config
+	accs []*Accumulator
 }
 
 // NewCampaign returns an empty campaign with the given sketch parameter
@@ -232,7 +232,7 @@ func NewCampaignWith(cfg Config) *Campaign {
 		withDefaults := cfg.Diagnose.WithDefaults()
 		cfg.Diagnose = &withDefaults
 	}
-	return &Campaign{cfg: cfg, perPoP: map[int]*Accumulator{}}
+	return &Campaign{cfg: cfg}
 }
 
 // newAccumulator builds one shard accumulator in the campaign's mode.
@@ -240,33 +240,28 @@ func (c *Campaign) newAccumulator() *Accumulator {
 	return NewAccumulatorWith(c.cfg)
 }
 
-// Sink returns the accumulator for popID, creating it on first use. It is
-// safe for concurrent use, though the session runner calls it from the
-// sequential plan phase.
+// Sink returns a fresh accumulator for one shard. Every call gets its own
+// accumulator — shards of the same PoP must not share one, since each
+// feeds its sink from its own goroutine. Snapshot later merges the
+// accumulators in Sink-call order, so callers must mint sinks in their
+// canonical shard order (the session runner's sequential plan phase
+// does). Sink is safe for concurrent use regardless.
 func (c *Campaign) Sink(popID int) core.RecordSink {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	a, ok := c.perPoP[popID]
-	if !ok {
-		a = c.newAccumulator()
-		c.perPoP[popID] = a
-	}
+	a := c.newAccumulator()
+	c.accs = append(c.accs, a)
 	return a
 }
 
-// Snapshot merges the per-PoP accumulators in ascending PoP order and
-// returns the campaign-wide state. Call it only after the run completes.
+// Snapshot merges the shard accumulators in Sink-call order and returns
+// the campaign-wide state. Call it only after the run completes.
 func (c *Campaign) Snapshot() *Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	pops := make([]int, 0, len(c.perPoP))
-	for p := range c.perPoP {
-		pops = append(pops, p)
-	}
-	sort.Ints(pops)
 	merged := c.newAccumulator()
-	for _, p := range pops {
-		merged.Merge(c.perPoP[p])
+	for _, a := range c.accs {
+		merged.Merge(a)
 	}
 	return merged.snapshot()
 }

@@ -58,7 +58,7 @@ type Scenario struct {
 	// CDN instead of the steady state the paper measures (ablation).
 	ColdStart bool
 
-	// Parallelism caps how many PoP shards the session runner executes
+	// Parallelism caps how many server-slot shards the session runner executes
 	// concurrently: 0 uses GOMAXPROCS, 1 runs the shards sequentially.
 	// Sessions never cross PoPs and every shard's randomness derives from
 	// (Seed, PoP) alone, so the merged trace is byte-identical at every
@@ -309,18 +309,10 @@ type SessionPlan struct {
 // pure transforms — no extra RNG draws — so an empty timeline yields
 // exactly the pre-timeline plan.
 func (p *Population) PlanSession(id uint64) SessionPlan {
-	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
-	pre := p.SamplePrefix(r)
-	video := p.Catalog.Sample(r)
-
-	watch := 1 + int(r.Exp(p.Scenario.MeanWatchedChunks-1))
-	if watch > video.NumChunks {
-		watch = video.NumChunks
-	}
-
+	r, pre, video, watch, arrival := p.planHead(id)
 	plan := SessionPlan{
 		ID:            id,
-		ArrivalMS:     p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS)),
+		ArrivalMS:     arrival,
 		Prefix:        pre,
 		Video:         video,
 		WatchChunks:   watch,
@@ -352,6 +344,34 @@ func (p *Population) PlanSession(id uint64) SessionPlan {
 // precomputed arrival-rate transform (identity without a timeline).
 func (p *Population) warpArrival(u float64) float64 {
 	return p.warp.At(u)
+}
+
+// planHead replays the shared head of session id's plan — the prefix,
+// video, watch-length, and (warped) arrival draws, in exactly the order
+// PlanSession consumes them — and returns the RNG positioned for the
+// remaining draws. It is the single place that draw order lives, so the
+// partitioner, the arrival scheduler, and the full planner can never
+// disagree.
+func (p *Population) planHead(id uint64) (r *stats.Rand, pre *Prefix, video *catalog.Video, watch int, arrival float64) {
+	r = stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
+	pre = p.SamplePrefix(r)
+	video = p.Catalog.Sample(r)
+	watch = 1 + int(r.Exp(p.Scenario.MeanWatchedChunks-1))
+	if watch > video.NumChunks {
+		watch = video.NumChunks
+	}
+	arrival = p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS))
+	return r, pre, video, watch, arrival
+}
+
+// servingPoP applies the timeline's PoP-outage failover (if any) to a
+// session's home PoP at its arrival time — the same rule
+// applyPhaseEffects uses for the full plan.
+func (p *Population) servingPoP(home int, arrival float64) int {
+	if ph := p.Scenario.Timeline.PhaseAt(arrival); ph != nil && ph.Effects.PoPIsDown(home) {
+		return ph.Effects.FailoverPoP
+	}
+	return home
 }
 
 // applyPhaseEffects overlays the per-session effects of the timeline
@@ -388,37 +408,25 @@ func (p *Population) applyPhaseEffects(plan *SessionPlan) {
 
 // SessionArrival returns session id's arrival time, replaying only the
 // plan draws that precede it (prefix, video, watch length) without
-// building the platform, path, or stack state. It lets the runner
-// schedule 10M+ arrivals while retaining nothing but the session IDs —
-// full plans are rebuilt at arrival time, when the session actually
-// needs them.
+// building the platform, path, or stack state. The sharded runner no
+// longer calls it per arrival — PartitionBySlot caches arrivals during
+// partitioning — but it remains the contract that pins the arrival draw
+// position inside the plan.
 func (p *Population) SessionArrival(id uint64) float64 {
-	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
-	p.SamplePrefix(r)
-	p.Catalog.Sample(r)
-	r.Exp(p.Scenario.MeanWatchedChunks - 1)
-	return p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS))
+	_, _, _, _, arrival := p.planHead(id)
+	return arrival
 }
 
-// SessionPoP returns the PoP that will serve session id. Without PoP
-// outages in the timeline it replays only the prefix draw of
-// PlanSession; with outages it also replays the arrival time (the next
-// three draws) to apply the failover active at arrival — it must agree
+// SessionPoP returns the PoP that will serve session id. It must agree
 // with PlanSession's ServingPoP, because the partitioner assigns each
 // session to the shard that owns its serving PoP's servers.
 func (p *Population) SessionPoP(id uint64) int {
-	r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
-	pop := p.SamplePrefix(r).PoP
 	if !p.Scenario.Timeline.HasPoPOutage() {
-		return pop
+		r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
+		return p.SamplePrefix(r).PoP
 	}
-	p.Catalog.Sample(r)
-	r.Exp(p.Scenario.MeanWatchedChunks - 1)
-	arrival := p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS))
-	if ph := p.Scenario.Timeline.PhaseAt(arrival); ph != nil && ph.Effects.PoPIsDown(pop) {
-		return ph.Effects.FailoverPoP
-	}
-	return pop
+	_, pre, _, _, arrival := p.planHead(id)
+	return p.servingPoP(pre.PoP, arrival)
 }
 
 // PartitionByPoP buckets session IDs 1..NumSessions by serving PoP,
@@ -438,6 +446,50 @@ func (p *Population) PartitionByPoP(numPoPs int) [][]uint64 {
 		parts[pop] = append(parts[pop], id)
 	}
 	return parts
+}
+
+// SessionRef is the compact per-session record a partition retains: the
+// ID plus the already-computed arrival time, so the runner schedules
+// arrivals without replaying the plan head a second time. Sixteen bytes
+// per session keeps 10M-session campaigns cheap to stage.
+type SessionRef struct {
+	ID        uint64
+	ArrivalMS float64
+}
+
+// PartitionBySlot buckets session IDs 1..NumSessions by (serving PoP,
+// server slot) — the true interaction granularity of the simulation:
+// a session's chunks all land on one server (see cdn.SlotFor), and
+// sessions on different servers share no mutable state, so every bucket
+// is an independent event system. The returned slice is indexed by
+// pop*ServersPerPoP+slot; serving PoPs outside [0, NumPoPs) clamp to
+// PoP 0, mirroring Fleet.ServerFor. Within a bucket IDs stay ascending,
+// so shard event scheduling matches a single global engine's order.
+//
+// Each session's plan head is replayed exactly once here; the arrival
+// time rides along in the SessionRef instead of being re-derived at
+// scheduling time.
+//
+// The second result is each bucket's planned chunk total (the sum of the
+// sessions' watch lengths) — an upper bound on the records the bucket
+// will emit (abandonment can only shorten sessions), which lets sinks
+// pre-size their buffers.
+func (p *Population) PartitionBySlot(cfg cdn.FleetConfig) ([][]SessionRef, []int) {
+	cfg = cfg.WithDefaults()
+	parts := make([][]SessionRef, cfg.NumPoPs*cfg.ServersPerPoP)
+	chunks := make([]int, len(parts))
+	for id := uint64(1); id <= uint64(p.Scenario.NumSessions); id++ {
+		_, pre, video, watch, arrival := p.planHead(id)
+		pop := p.servingPoP(pre.PoP, arrival)
+		if pop < 0 || pop >= cfg.NumPoPs {
+			pop = 0
+		}
+		slot := cdn.SlotFor(cfg, video.ID, video.Rank, id)
+		b := pop*cfg.ServersPerPoP + slot
+		parts[b] = append(parts[b], SessionRef{ID: id, ArrivalMS: arrival})
+		chunks[b] += watch
+	}
+	return parts, chunks
 }
 
 // samplePlatform draws the OS/browser/hardware mix of §3.
