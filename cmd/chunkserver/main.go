@@ -28,13 +28,19 @@ func main() {
 	)
 	flag.Parse()
 
-	srv := httpstream.NewServer(httpstream.ServerConfig{
-		CacheBytes:     *cacheMB << 20,
-		OpenRetryDelay: time.Duration(*retryMS) * time.Millisecond,
-		BackendDelay:   time.Duration(*backendMS) * time.Millisecond,
-	})
+	srv := buildServer(*cacheMB, *retryMS, *backendMS)
 	log.Printf("serving chunks on %s (cache %d MiB, retry %d ms, backend %d ms)",
 		*addr, *cacheMB, *retryMS, *backendMS)
 	log.Printf("chunk URL format: /video/{videoID}/chunk/{chunkID}?kbps={bitrate}")
 	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// buildServer wires the flag values into the chunk server exactly as the
+// command serves it; the smoke test drives the same construction.
+func buildServer(cacheMB int64, retryMS, backendMS int) *httpstream.Server {
+	return httpstream.NewServer(httpstream.ServerConfig{
+		CacheBytes:     cacheMB << 20,
+		OpenRetryDelay: time.Duration(retryMS) * time.Millisecond,
+		BackendDelay:   time.Duration(backendMS) * time.Millisecond,
+	})
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestChunkServerSmoke drives the command's exact server construction
+// over a real socket: a chunk request succeeds with the documented URL
+// shape, carries the instrumentation headers, repeats deterministically
+// in size, and turns into a cache hit on re-request.
+func TestChunkServerSmoke(t *testing.T) {
+	ts := httptest.NewServer(buildServer(4, 1, 5))
+	defer ts.Close()
+
+	get := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		return resp, body
+	}
+
+	url := ts.URL + "/video/1/chunk/0?kbps=235"
+	resp, body := get(url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET chunk = %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("chunk body is empty")
+	}
+	if resp.Header.Get("X-Cache") == "" {
+		t.Fatal("no X-Cache instrumentation header")
+	}
+
+	// The same chunk again: same bytes served, now from cache.
+	resp2, body2 := get(url)
+	if len(body2) != len(body) {
+		t.Fatalf("re-request returned %d bytes, first returned %d", len(body2), len(body))
+	}
+	if lvl := resp2.Header.Get("X-Cache"); lvl != "HIT" {
+		t.Fatalf("second request X-Cache = %q, want HIT", lvl)
+	}
+
+	// Malformed chunk paths are rejected, not served.
+	if resp, _ := get(ts.URL + "/video/not-a-number/chunk/0?kbps=235"); resp.StatusCode == http.StatusOK {
+		t.Fatal("malformed video ID was served")
+	}
+}

@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"vidperf/internal/httpstream"
 )
@@ -27,17 +29,28 @@ func main() {
 	)
 	flag.Parse()
 
-	p := httpstream.NewPlayer(*server, *kbps)
-	res, err := p.Play(1, *video, *chunks)
+	res, err := playSession(*server, *video, *chunks, *kbps)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-6s %-8s %-10s %-10s %-10s %-8s %-6s\n",
+	renderResult(os.Stdout, res)
+}
+
+// playSession streams one session against the chunkserver — the
+// command's whole network path, shared with the smoke test.
+func playSession(server string, video, chunks, kbps int) (httpstream.PlayResult, error) {
+	return httpstream.NewPlayer(server, kbps).Play(1, video, chunks)
+}
+
+// renderResult prints the per-chunk milestone table and the session QoE
+// summary.
+func renderResult(w io.Writer, res httpstream.PlayResult) {
+	fmt.Fprintf(w, "%-6s %-8s %-10s %-10s %-10s %-8s %-6s\n",
 		"chunk", "cache", "DFB ms", "DLB ms", "Dcdn ms", "DBE ms", "retry")
 	for _, c := range res.Chunks {
-		fmt.Printf("%-6d %-8s %-10.2f %-10.2f %-10.2f %-8.2f %-6v\n",
+		fmt.Fprintf(w, "%-6d %-8s %-10.2f %-10.2f %-10.2f %-8.2f %-6v\n",
 			c.ChunkID, c.CacheLevel, c.DFBms, c.DLBms, c.DreadMS, c.DBEms, c.RetryTimer)
 	}
-	fmt.Printf("\nstartup %.1f ms; rebuffers %d (%.1f ms, rate %.2f%%)\n",
+	fmt.Fprintf(w, "\nstartup %.1f ms; rebuffers %d (%.1f ms, rate %.2f%%)\n",
 		res.StartupMS, res.RebufCount, res.RebufDurMS, 100*res.RebufferRate)
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vidperf/internal/httpstream"
+)
+
+// TestPlayerSmoke runs the command's whole path — player over real TCP
+// against a live chunk server — and checks the session result and the
+// rendered report.
+func TestPlayerSmoke(t *testing.T) {
+	ts := httptest.NewServer(httpstream.NewServer(httpstream.ServerConfig{
+		CacheBytes:     4 << 20,
+		OpenRetryDelay: time.Millisecond,
+		BackendDelay:   2 * time.Millisecond,
+	}))
+	defer ts.Close()
+
+	res, err := playSession(ts.URL, 1, 5, 235)
+	if err != nil {
+		t.Fatalf("playSession: %v", err)
+	}
+	if len(res.Chunks) != 5 {
+		t.Fatalf("played %d chunks, want 5", len(res.Chunks))
+	}
+	if res.StartupMS <= 0 {
+		t.Fatalf("startup = %g ms", res.StartupMS)
+	}
+	for i, c := range res.Chunks {
+		if c.ChunkID != i {
+			t.Fatalf("chunk %d has ID %d", i, c.ChunkID)
+		}
+		if c.DFBms < 0 || c.DreadMS < 0 {
+			t.Fatalf("chunk %d has negative milestone: %+v", i, c)
+		}
+	}
+
+	var out bytes.Buffer
+	renderResult(&out, res)
+	report := out.String()
+	if !strings.Contains(report, "startup") {
+		t.Fatalf("report lacks the QoE summary:\n%s", report)
+	}
+	// Header line plus one row per chunk plus the summary.
+	if lines := strings.Count(strings.TrimSpace(report), "\n"); lines < 6 {
+		t.Fatalf("report has %d lines:\n%s", lines, report)
+	}
+
+	// A dead server is an error, not a broken report.
+	ts.Close()
+	if _, err := playSession(ts.URL, 1, 1, 235); err == nil {
+		t.Fatal("playing against a closed server did not error")
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"vidperf/internal/experiment"
+	"vidperf/internal/telemetry"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"", "text", "json"} {
+		if _, err := newLogger(format); err != nil {
+			t.Errorf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("yaml"); err == nil {
+		t.Error("newLogger accepted an unknown format")
+	}
+}
+
+func TestRatiosOnEmptySnapshot(t *testing.T) {
+	sn := &telemetry.Snapshot{}
+	if r := hitRatio(sn); r != 0 {
+		t.Fatalf("hitRatio of an empty snapshot = %g", r)
+	}
+	if r := retryShare(sn); r != 0 {
+		t.Fatalf("retryShare of an empty snapshot = %g", r)
+	}
+}
+
+func TestQuantileList(t *testing.T) {
+	qs := quantileList()
+	if !strings.Contains(qs, "p50") || !strings.Contains(qs, "/") {
+		t.Fatalf("quantileList = %q, want a /-separated list including p50", qs)
+	}
+}
+
+// TestLoadSpec exercises both happy paths of the flag-driven loader; the
+// error paths exit the process and are covered by the validation logic
+// they delegate to.
+func TestLoadSpec(t *testing.T) {
+	restoreSpec, restorePreset := *specPath, *preset
+	defer func() { *specPath, *preset = restoreSpec, restorePreset }()
+
+	*specPath, *preset = "../../examples/specs/paper-baseline.json", ""
+	if sp := loadSpec(discardLogger()); sp.Name == "" {
+		t.Fatal("spec file loaded with no name")
+	}
+
+	names := experiment.Presets()
+	if len(names) == 0 {
+		t.Fatal("no built-in presets")
+	}
+	*specPath, *preset = "", names[0]
+	if sp := loadSpec(discardLogger()); sp.Name == "" {
+		t.Fatalf("preset %q loaded with no name", names[0])
+	}
+}
+
+// TestPrintSummary runs a small two-cell campaign and renders its table:
+// both the baseline row and a delta row must appear.
+func TestPrintSummary(t *testing.T) {
+	sp, err := experiment.LoadFile("../../examples/specs/diagnosed-cold-start.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	sp.Scenario.Sessions = 150
+	res, err := experiment.RunCampaign(sp, experiment.RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	printSummary(res) // must not panic; rows go to stdout
+
+	base := res.Baseline()
+	if base == nil {
+		t.Fatal("campaign has no baseline cell")
+	}
+	if len(res.Cells) < 2 {
+		t.Fatalf("campaign ran %d cells, want >= 2 so the delta column renders", len(res.Cells))
+	}
+	if hitRatio(base.Snapshot) <= 0 {
+		t.Fatal("baseline cell has a zero hit ratio")
+	}
+}

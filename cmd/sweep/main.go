@@ -31,7 +31,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"strings"
 	"sync"
 
@@ -53,14 +54,19 @@ var (
 	fullDeltas = flag.Bool("full-deltas", false, "print the full per-metric delta table for each non-baseline cell")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
 	memProfile = flag.String("memprofile", "", "write an allocation profile to this file on successful exit (go tool pprof)")
+	logFormat  = flag.String("log-format", "text", "stderr log format: text or json")
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sweep: ")
 	flag.Parse()
+	log, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	if len(flag.Args()) > 0 {
-		log.Fatalf("unexpected arguments %q (all options are flags)", flag.Args())
+		fatal(log, "invalid flags",
+			slog.String("err", fmt.Sprintf("unexpected arguments %q (all options are flags)", flag.Args())))
 	}
 
 	if *list {
@@ -73,18 +79,18 @@ func main() {
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "profiling setup failed", slog.Any("err", err))
 	}
 	// Runs on the normal exit path; fatal error paths (os.Exit) skip it,
 	// which is fine — a campaign that died produced no profile worth
 	// keeping.
 	defer func() {
 		if err := stopProfiles(); err != nil {
-			log.Print(err)
+			log.Error("profiling stop failed", slog.Any("err", err))
 		}
 	}()
 
-	sp := loadSpec()
+	sp := loadSpec(log)
 	// Cell scenarios inherit the spec scenario, so the laptop-scale
 	// overrides apply once here and reach every cell through Expand.
 	if *sessions > 0 {
@@ -95,11 +101,12 @@ func main() {
 	}
 	cells, err := sp.Expand()
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "spec expansion failed", slog.Any("err", err))
 	}
 
-	log.Printf("campaign %s: %d cells (workers=%d, sketch k=%d)",
-		sp.Name, len(cells), *workers, sp.EffectiveSketchK())
+	log.Info("campaign starting",
+		slog.String("campaign", sp.Name), slog.Int("cells", len(cells)),
+		slog.Int("workers", *workers), slog.Int("sketch_k", sp.EffectiveSketchK()))
 	var mu sync.Mutex
 	done := 0
 	res, err := experiment.RunCampaign(sp, experiment.RunOptions{
@@ -111,14 +118,16 @@ func main() {
 			n := done
 			mu.Unlock()
 			if err != nil {
-				log.Printf("[%d/%d] %s: %v", n, len(cells), cell.Name, err)
+				log.Error("cell failed", slog.Int("n", n), slog.Int("cells", len(cells)),
+					slog.String("cell", cell.Name), slog.Any("err", err))
 				return
 			}
-			log.Printf("[%d/%d] %s done", n, len(cells), cell.Name)
+			log.Info("cell done", slog.Int("n", n), slog.Int("cells", len(cells)),
+				slog.String("cell", cell.Name))
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "campaign failed", slog.Any("err", err))
 	}
 
 	printSummary(res)
@@ -132,28 +141,29 @@ func main() {
 		}
 	}
 	if *outDir != "" {
-		log.Printf("wrote %d snapshots to %s", len(res.Cells), *outDir)
+		log.Info("wrote snapshots", slog.Int("cells", len(res.Cells)), slog.String("dir", *outDir))
 	}
 }
 
-func loadSpec() *experiment.Spec {
+func loadSpec(log *slog.Logger) *experiment.Spec {
 	switch {
 	case *specPath != "" && *preset != "":
-		log.Fatal("-spec and -preset are mutually exclusive")
+		fatal(log, "invalid flags", slog.String("err", "-spec and -preset are mutually exclusive"))
 	case *specPath != "":
 		sp, err := experiment.LoadFile(*specPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(log, "spec load failed", slog.Any("err", err))
 		}
 		return sp
 	case *preset != "":
 		sp, ok := experiment.Preset(*preset)
 		if !ok {
-			log.Fatalf("unknown preset %q (have %s)", *preset, strings.Join(experiment.Presets(), ", "))
+			fatal(log, "unknown preset", slog.String("preset", *preset),
+				slog.String("have", strings.Join(experiment.Presets(), ", ")))
 		}
 		return &sp
 	}
-	log.Fatal("one of -spec, -preset, or -list is required")
+	fatal(log, "invalid flags", slog.String("err", "one of -spec, -preset, or -list is required"))
 	return nil
 }
 

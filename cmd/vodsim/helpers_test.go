@@ -1,0 +1,153 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vidperf/internal/catalog"
+	"vidperf/internal/session"
+	"vidperf/internal/telemetry"
+	"vidperf/internal/workload"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"", "text", "json"} {
+		if _, err := newLogger(format); err != nil {
+			t.Errorf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("yaml"); err == nil {
+		t.Error("newLogger accepted an unknown format")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := writeFile(path, func(f *os.File) error {
+		_, err := f.WriteString("hello\n")
+		return err
+	}); err != nil {
+		t.Fatalf("writeFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(got) != "hello\n" {
+		t.Fatalf("file holds %q", got)
+	}
+
+	if err := writeFile(filepath.Join(t.TempDir(), "missing", "out.txt"),
+		func(f *os.File) error { return nil }); err == nil {
+		t.Fatal("writeFile into a missing directory did not error")
+	}
+	boom := errors.New("boom")
+	if err := writeFile(filepath.Join(t.TempDir(), "out.txt"),
+		func(f *os.File) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("writeFile swallowed the writer error: %v", err)
+	}
+}
+
+func testScenarioSmall(seed uint64) workload.Scenario {
+	return workload.Scenario{
+		Seed:        seed,
+		NumSessions: 120,
+		NumPrefixes: 80,
+		Catalog:     catalog.Config{NumVideos: 400},
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	ds, err := session.Run(testScenarioSmall(4))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := writeTrace(path, ds); err != nil {
+		t.Fatalf("writeTrace: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat trace: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("trace file is empty")
+	}
+}
+
+// TestRunStreamingWritesSnapshot drives the -stream helper end to end:
+// the run streams and the out file is a loadable snapshot with the
+// scenario's session count.
+func TestRunStreamingWritesSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "snapshot.json")
+	runStreaming(discardLogger(), testScenarioSmall(4), 64, true, out)
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open snapshot: %v", err)
+	}
+	defer f.Close()
+	sn, err := telemetry.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got := sn.Counter(telemetry.CounterSessions); got != 120 {
+		t.Fatalf("snapshot has %d sessions, want 120", got)
+	}
+}
+
+// TestRunSpecAppliesOverrides runs the -spec helper against a shipped
+// spec with the CI-style override flags set and checks the overrides
+// reached the written snapshot.
+func TestRunSpecAppliesOverrides(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cell.json")
+	set := map[string]bool{
+		"sessions": true, "prefixes": true, "videos": true,
+		"seed": true, "parallel": true, "sketch-k": true, "diagnose": true,
+	}
+	runSpec(discardLogger(), "../../examples/specs/paper-baseline.json", set,
+		150, 100, 500, 9, 2, 64, false, out)
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open snapshot: %v", err)
+	}
+	defer f.Close()
+	sn, err := telemetry.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got := sn.Counter(telemetry.CounterSessions); got != 150 {
+		t.Fatalf("snapshot has %d sessions, want the -sessions override 150", got)
+	}
+	if sn.SketchK != 64 {
+		t.Fatalf("snapshot sketch k = %d, want the -sketch-k override 64", sn.SketchK)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	// No profile paths: setup and stop are both no-ops that must not fail.
+	stop := startProfiles(discardLogger(), "", "")
+	stop()
+
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop = startProfiles(discardLogger(), cpu, mem)
+	stop()
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

@@ -8,6 +8,11 @@
 //	vodsim -sessions 20000 -seed 1 -out trace.jsonl [-chunks-csv chunks.csv]
 //	       [-sessions-csv sessions.csv] [-abr hybrid] [-cold] [-filter-proxies]
 //	       [-parallel 0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	vodsim serve [...]   (continuous service mode; see below)
+//
+// Progress and errors go to stderr as structured logs (log/slog); pass
+// -log-format=json for machine-parsable output (the default is the text
+// handler).
 //
 // -cpuprofile and -memprofile (usable in every mode, including -spec)
 // write runtime/pprof profiles of the actual campaign for go tool pprof;
@@ -40,10 +45,10 @@
 //
 // The spec must expand to a single cell (multi-cell campaigns belong to
 // cmd/sweep); the run always streams, writing a labelled telemetry
-// snapshot. Only -out, -parallel, -seed, -sessions, -prefixes, -videos
-// and -sketch-k may be combined with -spec, overriding the spec's values
-// — the overrides the CI determinism gate uses to replay one spec at
-// several -parallel settings and byte-compare the snapshots.
+// snapshot. Only -out, -parallel, -seed, -sessions, -prefixes, -videos,
+// -sketch-k and -diagnose may be combined with -spec, overriding the
+// spec's values — the overrides the CI determinism gate uses to replay
+// one spec at several -parallel settings and byte-compare the snapshots.
 //
 // A spec with a "timeline" block (see docs/SPECS.md) injects timed
 // faults and degradations — PoP outages, backend brownouts, cache
@@ -51,12 +56,18 @@
 // per-window telemetry: cmd/analyze -windows renders QoE
 // before/during/after each phase. Timelines change nothing about the
 // determinism contract.
+//
+// The serve subcommand (vodsim serve, see serve.go in this package) runs
+// the streaming pipeline as a long-lived service: open-ended session
+// windows on a virtual clock, live /snapshot /windows /diagnose /metrics
+// endpoints, and synchronous checkpoint/resume with byte-identical
+// replay. See README.md, "Continuous service mode".
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"vidperf/internal/catalog"
@@ -70,8 +81,10 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vodsim: ")
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 
 	var (
 		sessions    = flag.Int("sessions", 20000, "number of sessions to simulate")
@@ -91,27 +104,34 @@ func main() {
 		sessCSV     = flag.String("sessions-csv", "", "optional CSV export of the session table")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on successful exit (go tool pprof)")
+		logFormat   = flag.String("log-format", "text", "stderr log format: text or json")
 	)
 	flag.Parse()
+
+	log, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodsim:", err)
+		os.Exit(1)
+	}
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *spec != "" {
 		if err := validateSpecFlags(set, *sketchK, flag.Args()); err != nil {
-			log.Fatalf("invalid flags: %v", err)
+			fatal(log, "invalid flags", slog.Any("err", err))
 		}
-		stopProfiles := startProfiles(*cpuProfile, *memProfile)
+		stopProfiles := startProfiles(log, *cpuProfile, *memProfile)
 		defer stopProfiles()
-		runSpec(*spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *diagnoseF, *out)
+		runSpec(log, *spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *diagnoseF, *out)
 		return
 	}
 
 	if err := validateFlags(*sessions, *prefixes, *videos, *parallel, *sketchK,
 		*stream, *diagnoseF, *filterProxy, *chunksCSV, *sessCSV, flag.Args()); err != nil {
-		log.Fatalf("invalid flags: %v", err)
+		fatal(log, "invalid flags", slog.Any("err", err))
 	}
-	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles := startProfiles(log, *cpuProfile, *memProfile)
 	defer stopProfiles()
 
 	sc := workload.Scenario{
@@ -123,47 +143,51 @@ func main() {
 		ColdStart:   *cold,
 		Parallelism: *parallel,
 	}
-	log.Printf("simulating %d sessions (seed=%d, abr=%s, cold=%v, parallel=%d, stream=%v, diagnose=%v)",
-		*sessions, *seed, *abrName, *cold, *parallel, *stream, *diagnoseF)
+	log.Info("simulating",
+		slog.Int("sessions", *sessions), slog.Uint64("seed", *seed),
+		slog.String("abr", *abrName), slog.Bool("cold", *cold),
+		slog.Int("parallel", *parallel), slog.Bool("stream", *stream),
+		slog.Bool("diagnose", *diagnoseF))
 
 	if *stream {
-		runStreaming(sc, *sketchK, *diagnoseF, *out)
+		runStreaming(log, sc, *sketchK, *diagnoseF, *out)
 		return
 	}
 
 	ds, err := session.Run(sc)
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "run failed", slog.Any("err", err))
 	}
-	log.Printf("generated %s", ds)
+	log.Info("generated dataset", slog.String("dataset", ds.String()))
 
 	if *filterProxy {
 		res := core.FilterProxies(ds, core.ProxyFilterConfig{})
-		log.Printf("proxy filtering kept %d/%d sessions (%.1f%%)",
-			res.KeptSessions, res.TotalSessions, 100*res.KeptFraction)
+		log.Info("proxy filtering done",
+			slog.Int("kept", res.KeptSessions), slog.Int("total", res.TotalSessions),
+			slog.Float64("kept_frac", res.KeptFraction))
 		ds = res.Kept
 	}
 
 	if err := writeTrace(*out, ds); err != nil {
-		log.Fatal(err)
+		fatal(log, "write failed", slog.Any("err", err))
 	}
-	log.Printf("wrote %s", *out)
+	log.Info("wrote trace", slog.String("path", *out))
 
 	if *chunksCSV != "" {
 		if err := writeFile(*chunksCSV, func(f *os.File) error {
 			return core.WriteChunksCSV(f, ds.Chunks)
 		}); err != nil {
-			log.Fatal(err)
+			fatal(log, "write failed", slog.Any("err", err))
 		}
-		log.Printf("wrote %s", *chunksCSV)
+		log.Info("wrote chunk CSV", slog.String("path", *chunksCSV))
 	}
 	if *sessCSV != "" {
 		if err := writeFile(*sessCSV, func(f *os.File) error {
 			return core.WriteSessionsCSV(f, ds.Sessions)
 		}); err != nil {
-			log.Fatal(err)
+			fatal(log, "write failed", slog.Any("err", err))
 		}
-		log.Printf("wrote %s", *sessCSV)
+		log.Info("wrote session CSV", slog.String("path", *sessCSV))
 	}
 }
 
@@ -208,6 +232,7 @@ var specOverridableFlags = map[string]bool{
 	"spec": true, "out": true, "parallel": true, "seed": true,
 	"sessions": true, "prefixes": true, "videos": true, "sketch-k": true,
 	"diagnose": true, "cpuprofile": true, "memprofile": true,
+	"log-format": true,
 }
 
 // validateSpecFlags rejects flag combinations that contradict spec mode:
@@ -234,18 +259,20 @@ func validateSpecFlags(set map[string]bool, sketchK int, extra []string) error {
 // the spec's diagnosis toggle in either direction, like every other
 // override flag (it is an output toggle, so the simulated world — and
 // every non-diagnosis byte of the snapshot state — is unchanged).
-func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
+func runSpec(log *slog.Logger, path string, set map[string]bool, sessions, prefixes, videos int,
 	seed uint64, parallel, sketchK int, diagnose bool, out string) {
 	sp, err := experiment.LoadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "spec load failed", slog.Any("err", err))
 	}
 	cells, err := sp.Expand()
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "spec expansion failed", slog.Any("err", err))
 	}
 	if len(cells) != 1 {
-		log.Fatalf("%s expands to %d cells; vodsim -spec runs single-cell specs (use cmd/sweep for campaigns)", path, len(cells))
+		fatal(log, "multi-cell spec",
+			slog.String("spec", path), slog.Int("cells", len(cells)),
+			slog.String("hint", "vodsim -spec runs single-cell specs (use cmd/sweep for campaigns)"))
 	}
 	cell := cells[0]
 	if set["sessions"] {
@@ -270,57 +297,56 @@ func runSpec(path string, set map[string]bool, sessions, prefixes, videos int,
 		sp.Diagnosis = diagnose
 	}
 	sc := cell.Scenario.WithDefaults()
-	log.Printf("spec %s cell %s: %d sessions (seed=%d, abr=%s, parallel=%d)",
-		sp.Name, cell.Name, sc.NumSessions, sc.Seed, sc.ABRName, cell.Scenario.Parallelism)
+	log.Info("running spec cell",
+		slog.String("spec", sp.Name), slog.String("cell", cell.Name),
+		slog.Int("sessions", sc.NumSessions), slog.Uint64("seed", sc.Seed),
+		slog.String("abr", sc.ABRName), slog.Int("parallel", cell.Scenario.Parallelism))
 	res, err := experiment.RunCell(sp, cell, "")
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "cell run failed", slog.Any("err", err))
 	}
-	sn := res.Snapshot
-	log.Printf("streamed %d sessions / %d chunks into %d sketches (k=%d)",
-		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
-		len(sn.Sketches), sn.SketchK)
-	if err := writeFile(out, func(f *os.File) error {
-		return telemetry.WriteSnapshot(f, sn)
-	}); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("wrote %s", out)
+	writeSnapshotFile(log, out, res.Snapshot)
 }
 
 // runStreaming executes the campaign through per-shard telemetry
 // accumulators and writes the merged snapshot.
-func runStreaming(sc workload.Scenario, sketchK int, diag bool, out string) {
+func runStreaming(log *slog.Logger, sc workload.Scenario, sketchK int, diag bool, out string) {
 	opt := session.TelemetryOptions{SketchK: sketchK}
 	if diag {
 		opt.Diagnose = &diagnose.Config{}
 	}
 	sn, err := session.RunTelemetryOpts(sc, opt)
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "streaming run failed", slog.Any("err", err))
 	}
-	log.Printf("streamed %d sessions / %d chunks into %d sketches (k=%d)",
-		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
-		len(sn.Sketches), sn.SketchK)
+	writeSnapshotFile(log, out, sn)
+}
+
+// writeSnapshotFile logs the snapshot's totals and writes it to out.
+func writeSnapshotFile(log *slog.Logger, out string, sn *telemetry.Snapshot) {
+	log.Info("streamed campaign",
+		slog.Uint64("sessions", sn.Counter(telemetry.CounterSessions)),
+		slog.Uint64("chunks", sn.Counter(telemetry.CounterChunks)),
+		slog.Int("sketches", len(sn.Sketches)), slog.Int("sketch_k", sn.SketchK))
 	if err := writeFile(out, func(f *os.File) error {
 		return telemetry.WriteSnapshot(f, sn)
 	}); err != nil {
-		log.Fatal(err)
+		fatal(log, "write failed", slog.Any("err", err))
 	}
-	log.Printf("wrote %s", out)
+	log.Info("wrote snapshot", slog.String("path", out))
 }
 
 // startProfiles wires the -cpuprofile/-memprofile flags. The returned
 // stop runs on main's normal exit; fatal error paths (os.Exit) skip it,
 // which is fine — a run that died produced no profile worth keeping.
-func startProfiles(cpuPath, memPath string) func() {
+func startProfiles(log *slog.Logger, cpuPath, memPath string) func() {
 	stop, err := profiling.Start(cpuPath, memPath)
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "profiling setup failed", slog.Any("err", err))
 	}
 	return func() {
 		if err := stop(); err != nil {
-			log.Print(err)
+			log.Error("profiling stop failed", slog.Any("err", err))
 		}
 	}
 }

@@ -1,0 +1,50 @@
+// serve.go is the spec face of continuous service mode: a spec may carry
+// a "serve" block that `vodsim serve -spec` maps onto internal/serve's
+// engine configuration. The block is ignored by the batch campaign
+// drivers (cmd/sweep, vodsim -spec) — it configures how the scenario is
+// served, not what is simulated — but it travels with the spec so one
+// file describes both the world and its service posture.
+package experiment
+
+import "fmt"
+
+// ServeSpec is the "serve" block: continuous-service knobs in
+// campaign-friendly units. Zero fields take internal/serve's defaults
+// (window length from the scenario's arrival window, sessions per window
+// from the scenario's session count, ring 12).
+type ServeSpec struct {
+	// WindowMin is the virtual length of one service window, in minutes.
+	WindowMin float64 `json:"window_min,omitempty"`
+	// SessionsPerWindow is the number of sessions each window generates.
+	SessionsPerWindow int `json:"sessions_per_window,omitempty"`
+	// Ring is how many closed windows the /windows endpoint retains.
+	Ring int `json:"ring,omitempty"`
+	// Pace is the virtual-to-wall speed factor (0 = max speed).
+	Pace float64 `json:"pace,omitempty"`
+	// CheckpointEveryWindows writes a checkpoint after every n-th window
+	// (0 = only on demand and at shutdown).
+	CheckpointEveryWindows int `json:"checkpoint_every_windows,omitempty"`
+}
+
+// WindowMS returns the window length in milliseconds (0 when unset).
+func (s *ServeSpec) WindowMS() float64 { return s.WindowMin * 60 * 1000 }
+
+// validate rejects impossible serve blocks.
+func (s *ServeSpec) validate(specName string) error {
+	if s.WindowMin < 0 {
+		return fmt.Errorf("experiment: spec %s: serve window_min must be >= 0 (got %g)", specName, s.WindowMin)
+	}
+	if s.SessionsPerWindow < 0 {
+		return fmt.Errorf("experiment: spec %s: serve sessions_per_window must be >= 0 (got %d)", specName, s.SessionsPerWindow)
+	}
+	if s.Ring < 0 {
+		return fmt.Errorf("experiment: spec %s: serve ring must be >= 0 (got %d)", specName, s.Ring)
+	}
+	if s.Pace < 0 {
+		return fmt.Errorf("experiment: spec %s: serve pace must be >= 0 (got %g)", specName, s.Pace)
+	}
+	if s.CheckpointEveryWindows < 0 {
+		return fmt.Errorf("experiment: spec %s: serve checkpoint_every_windows must be >= 0 (got %d)", specName, s.CheckpointEveryWindows)
+	}
+	return nil
+}

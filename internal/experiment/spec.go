@@ -73,6 +73,12 @@ type Spec struct {
 	// axis.
 	Timeline *TimelineSpec `json:"timeline,omitempty"`
 
+	// Serve configures continuous service mode (`vodsim serve -spec`):
+	// window length, sessions per window, ring size, pace, checkpoint
+	// interval. Batch drivers ignore it; it is incompatible with a
+	// timeline (phase injection is a batch-campaign feature).
+	Serve *ServeSpec `json:"serve,omitempty"`
+
 	// Axes are crossed into the cell grid in declaration order (first
 	// axis slowest). A spec with no axes is a single cell named "base".
 	Axes []Axis `json:"axes,omitempty"`
@@ -297,6 +303,9 @@ func Load(r io.Reader) (*Spec, error) {
 		if s.Timeline != nil {
 			merged.Timeline = s.Timeline
 		}
+		if s.Serve != nil {
+			merged.Serve = s.Serve
+		}
 		if len(s.Axes) != 0 {
 			merged.Axes = s.Axes
 		}
@@ -345,6 +354,14 @@ func (s *Spec) Validate() error {
 	if s.SketchK != 0 && s.SketchK < 8 {
 		return fmt.Errorf("experiment: spec %s: sketch_k must be 0 or >= 8 (got %d)",
 			s.Name, s.SketchK)
+	}
+	if s.Serve != nil {
+		if err := s.Serve.validate(s.Name); err != nil {
+			return err
+		}
+		if s.Timeline != nil {
+			return fmt.Errorf("experiment: spec %s: serve and timeline are mutually exclusive (phase injection is a batch-campaign feature)", s.Name)
+		}
 	}
 	seen := map[string]bool{}
 	for _, ax := range s.Axes {

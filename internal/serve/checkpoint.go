@@ -1,0 +1,215 @@
+// checkpoint.go is the serve checkpoint codec: a checkpoint is the
+// engine's complete resumable state at a window boundary — the effective
+// config (seed and virtual clock geometry included), the window counter,
+// the cumulative fold, and the ring. Sketches, histograms, and counters
+// all round-trip JSON exactly (their wire formats encode the full
+// internal state), so a resumed engine's published snapshots are
+// byte-identical to the uninterrupted run's.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+
+	"vidperf/internal/telemetry"
+)
+
+// CheckpointSchema is the checkpoint wire-format version.
+const CheckpointSchema = 1
+
+// Checkpoint is the serialized engine state.
+type Checkpoint struct {
+	Schema int `json:"schema"`
+	// Config is the effective configuration of the checkpointed run.
+	// Resume takes every determinism-relevant field (scenario, seed,
+	// window geometry, sketch k, diagnosis) from here; only runtime
+	// fields (pace, checkpoint path/interval, max windows) come from the
+	// resuming caller.
+	Config      Config              `json:"config"`
+	WindowsDone int                 `json:"windows_done"`
+	VirtualMS   float64             `json:"virtual_ms"`
+	Cumulative  *telemetry.Snapshot `json:"cumulative,omitempty"`
+	Ring        []WindowResult      `json:"ring,omitempty"`
+}
+
+// ckptReply is the engine's answer to one synchronous checkpoint
+// request.
+type ckptReply struct {
+	Path        string  `json:"path"`
+	WindowsDone int     `json:"windows_done"`
+	VirtualMS   float64 `json:"virtual_ms"`
+	err         error
+}
+
+// checkpoint assembles the engine's current state. Callers hold at least
+// the read lock.
+func (e *Engine) checkpointLocked() *Checkpoint {
+	return &Checkpoint{
+		Schema:      CheckpointSchema,
+		Config:      e.cfg,
+		WindowsDone: e.done,
+		VirtualMS:   e.virtualMS,
+		Cumulative:  e.cum,
+		Ring:        e.ring,
+	}
+}
+
+// checkpointNow writes the current state to Config.CheckpointPath
+// atomically (temp file + rename, so a crash mid-write never corrupts
+// the previous checkpoint). Only the engine goroutine calls it, at
+// window boundaries.
+func (e *Engine) checkpointNow() error {
+	if e.cfg.CheckpointPath == "" {
+		return errors.New("serve: no checkpoint path configured")
+	}
+	e.mu.RLock()
+	ck := e.checkpointLocked()
+	buf, err := json.Marshal(ck)
+	e.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("serve: encode checkpoint: %w", err)
+	}
+	dir, base := filepath.Split(e.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: write checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), e.cfg.CheckpointPath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: write checkpoint: %w", err)
+	}
+	e.log.Info("checkpoint written",
+		slog.String("path", e.cfg.CheckpointPath),
+		slog.Int("windows_done", ck.WindowsDone),
+		slog.Float64("virtual_ms", ck.VirtualMS))
+	return nil
+}
+
+// serviceCheckpointRequest answers one POST /checkpoint waiter: write
+// the checkpoint, report what it covers.
+func (e *Engine) serviceCheckpointRequest(reply chan ckptReply) {
+	err := e.checkpointNow()
+	e.mu.RLock()
+	r := ckptReply{
+		Path:        e.cfg.CheckpointPath,
+		WindowsDone: e.done,
+		VirtualMS:   e.virtualMS,
+		err:         err,
+	}
+	e.mu.RUnlock()
+	reply <- r
+}
+
+// drainCheckpointRequests services every queued checkpoint request
+// without blocking. The engine calls it at each window boundary (and on
+// exit), so a request issued mid-window waits at most one window.
+func (e *Engine) drainCheckpointRequests() {
+	for {
+		select {
+		case reply := <-e.ckptReq:
+			e.serviceCheckpointRequest(reply)
+		default:
+			return
+		}
+	}
+}
+
+// failCheckpointWaiters unblocks queued checkpoint waiters when the
+// engine dies so their HTTP requests error instead of hanging.
+func (e *Engine) failCheckpointWaiters(err error) {
+	for {
+		select {
+		case reply := <-e.ckptReq:
+			reply <- ckptReply{err: fmt.Errorf("serve: engine stopped: %w", err)}
+		default:
+			return
+		}
+	}
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// ReadCheckpoint decodes a checkpoint written by the engine.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("serve: decode checkpoint: %w", err)
+	}
+	if ck.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("serve: checkpoint schema %d, want %d", ck.Schema, CheckpointSchema)
+	}
+	if ck.WindowsDone < 0 || (ck.WindowsDone > 0 && ck.Cumulative == nil) {
+		return nil, fmt.Errorf("serve: checkpoint has %d windows done but no cumulative snapshot", ck.WindowsDone)
+	}
+	if len(ck.Ring) > ck.WindowsDone {
+		return nil, fmt.Errorf("serve: checkpoint ring holds %d windows but only %d are done", len(ck.Ring), ck.WindowsDone)
+	}
+	return &ck, nil
+}
+
+// Runtime are the Config fields a resumed run may change without
+// touching the replay: they schedule and persist work but never feed the
+// simulation.
+type Runtime struct {
+	Pace                   float64
+	CheckpointPath         string
+	CheckpointEveryWindows int
+	MaxWindows             int
+	// Parallelism overrides Scenario.Parallelism when > 0 — shard
+	// concurrency is determinism-neutral by the repo's core invariant.
+	Parallelism int
+}
+
+// ResumeEngine rebuilds an engine from a checkpoint. Determinism-
+// relevant configuration comes from the checkpoint; rt supplies the
+// runtime knobs of the new process. The resumed engine's next window is
+// ck.WindowsDone, so the window sequence — and therefore every snapshot
+// — continues exactly as the uninterrupted run would.
+func ResumeEngine(ck *Checkpoint, rt Runtime, log *slog.Logger) (*Engine, error) {
+	cfg := ck.Config
+	cfg.Pace = rt.Pace
+	cfg.CheckpointPath = rt.CheckpointPath
+	cfg.CheckpointEveryWindows = rt.CheckpointEveryWindows
+	cfg.MaxWindows = rt.MaxWindows
+	if rt.Parallelism > 0 {
+		cfg.Scenario.Parallelism = rt.Parallelism
+	}
+	e, err := NewEngine(cfg, log)
+	if err != nil {
+		return nil, err
+	}
+	// The fold is deep-copied: the engine merges into its cumulative
+	// snapshot in place, and sharing it with the checkpoint would corrupt
+	// a second resume from the same loaded state.
+	cum, err := telemetry.MergeSnapshots(nil, ck.Cumulative)
+	if err != nil {
+		return nil, err
+	}
+	e.cum = cum
+	e.ring = append([]WindowResult(nil), ck.Ring...)
+	e.done = ck.WindowsDone
+	e.virtualMS = ck.VirtualMS
+	return e, nil
+}

@@ -1,0 +1,243 @@
+// http.go is the engine's observability surface. Handlers read the
+// published state under the read lock and encode into a buffer before
+// writing, so a slow client never holds the engine's lock. /snapshot
+// deliberately emits the cumulative fold with no serve-only decoration —
+// its bytes are the batch-equivalence artifact the determinism gate
+// compares.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"vidperf/internal/analysis"
+	"vidperf/internal/telemetry"
+)
+
+// Handler returns the engine's HTTP mux:
+//
+//	GET  /snapshot   cumulative telemetry.Snapshot JSON (batch-identical bytes)
+//	GET  /windows    rolling-window snapshot (the shape analyze -windows consumes)
+//	GET  /diagnose   live cause-share table (requires Config.Diagnose)
+//	GET  /metrics    Prometheus text exposition
+//	GET  /status     engine status JSON
+//	GET  /healthz    liveness probe
+//	POST /checkpoint synchronous checkpoint at the next window boundary
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /snapshot", e.handleSnapshot)
+	mux.HandleFunc("GET /windows", e.handleWindows)
+	mux.HandleFunc("GET /diagnose", e.handleDiagnose)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("GET /status", e.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /checkpoint", e.handleCheckpoint)
+	return mux
+}
+
+// WriteSnapshot writes the cumulative snapshot — exactly the bytes the
+// equivalent batch run's -out file holds. It errors until the first
+// window closes.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.cum == nil {
+		return fmt.Errorf("serve: no completed windows yet")
+	}
+	return telemetry.WriteSnapshot(w, e.cum)
+}
+
+func (e *Engine) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// ringSnapshot folds the ring into one windowed snapshot: window list in
+// time order plus the per-window counters and sketches — the same shape
+// a timeline run's snapshot has, so cmd/analyze -windows renders it
+// directly.
+func (e *Engine) ringSnapshot() (*telemetry.Snapshot, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var acc *telemetry.Snapshot
+	var err error
+	for _, wr := range e.ring {
+		acc, err = telemetry.MergeSnapshots(acc, wr.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+func (e *Engine) handleWindows(w http.ResponseWriter, r *http.Request) {
+	acc, err := e.ringSnapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if acc == nil {
+		http.Error(w, "serve: no completed windows yet", http.StatusServiceUnavailable)
+		return
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteSnapshot(&buf, acc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// diagRow is one label's row of the /diagnose JSON report.
+type diagRow struct {
+	Label       string  `json:"label"`
+	Sessions    uint64  `json:"sessions"`
+	Share       float64 `json:"share"`
+	StartupP50  float64 `json:"startup_p50_ms"`
+	RebufferP90 float64 `json:"rebuffer_p90"`
+}
+
+// diagReport is the /diagnose JSON body.
+type diagReport struct {
+	VirtualMS     float64   `json:"virtual_ms"`
+	Sessions      uint64    `json:"sessions"`
+	Labelled      uint64    `json:"labelled"`
+	DegradedShare float64   `json:"degraded_share"`
+	Rows          []diagRow `json:"rows"`
+}
+
+func (e *Engine) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if !e.cfg.Diagnose {
+		http.Error(w, "serve: diagnosis is off (start with diagnosis enabled)", http.StatusNotFound)
+		return
+	}
+	e.mu.RLock()
+	cum, virtualMS := e.cum, e.virtualMS
+	e.mu.RUnlock()
+	if cum == nil {
+		http.Error(w, "serve: no completed windows yet", http.StatusServiceUnavailable)
+		return
+	}
+	d := analysis.StreamDiagnosis(cum)
+	rep := diagReport{
+		VirtualMS:     virtualMS,
+		Sessions:      d.Sessions,
+		Labelled:      d.Labelled,
+		DegradedShare: d.DegradedShare(),
+	}
+	for _, row := range d.Rows {
+		rep.Rows = append(rep.Rows, diagRow{
+			Label:       string(row.Label),
+			Sessions:    row.Sessions,
+			Share:       row.Share,
+			StartupP50:  nanToZero(row.Startup.Quantile(0.5)),
+			RebufferP90: nanToZero(row.RebufferRate.Quantile(0.9)),
+		})
+	}
+	writeJSON(w, rep)
+}
+
+// statusReport is the /status JSON body.
+type statusReport struct {
+	WindowsDone       int     `json:"windows_done"`
+	VirtualMS         float64 `json:"virtual_ms"`
+	WindowMS          float64 `json:"window_ms"`
+	SessionsPerWindow int     `json:"sessions_per_window"`
+	Ring              int     `json:"ring"`
+	RingHeld          int     `json:"ring_held"`
+	Pace              float64 `json:"pace"`
+	Diagnose          bool    `json:"diagnose"`
+	Seed              uint64  `json:"seed"`
+	SessionsTotal     uint64  `json:"sessions_total"`
+	ChunksTotal       uint64  `json:"chunks_total"`
+	LiveSessions      uint64  `json:"live_window_sessions"`
+	LiveChunks        uint64  `json:"live_window_chunks"`
+	ShardQueueDepth   int64   `json:"shard_queue_depth"`
+	RecordsPerSec     float64 `json:"records_per_sec"`
+	UptimeSec         float64 `json:"uptime_sec"`
+}
+
+func (e *Engine) status() statusReport {
+	e.mu.RLock()
+	st := statusReport{
+		WindowsDone:       e.done,
+		VirtualMS:         e.virtualMS,
+		WindowMS:          e.cfg.WindowMS,
+		SessionsPerWindow: e.cfg.SessionsPerWindow,
+		Ring:              e.cfg.Ring,
+		RingHeld:          len(e.ring),
+		Pace:              e.cfg.Pace,
+		Diagnose:          e.cfg.Diagnose,
+		Seed:              e.cfg.Scenario.Seed,
+		RecordsPerSec:     e.lastRate,
+	}
+	if e.cum != nil {
+		st.SessionsTotal = e.cum.Counter(telemetry.CounterSessions)
+		st.ChunksTotal = e.cum.Counter(telemetry.CounterChunks)
+	}
+	if !e.startWall.IsZero() {
+		st.UptimeSec = time.Since(e.startWall).Seconds()
+	}
+	e.mu.RUnlock()
+	st.LiveSessions = e.live.Sessions.Load()
+	st.LiveChunks = e.live.Chunks.Load()
+	st.ShardQueueDepth = e.live.QueueDepth()
+	return st
+}
+
+func (e *Engine) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, e.status())
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	e.writeMetrics(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// handleCheckpoint requests a synchronous checkpoint from the engine
+// goroutine and waits (bounded by the request context) for it to land at
+// the next window boundary.
+func (e *Engine) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if e.cfg.CheckpointPath == "" {
+		http.Error(w, "serve: no checkpoint path configured (start with a checkpoint path)", http.StatusConflict)
+		return
+	}
+	reply := make(chan ckptReply, 1)
+	select {
+	case e.ckptReq <- reply:
+	default:
+		http.Error(w, "serve: checkpoint queue full", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case rep := <-reply:
+		if rep.err != nil {
+			http.Error(w, rep.err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, rep)
+	case <-r.Context().Done():
+		http.Error(w, "serve: checkpoint request cancelled", http.StatusServiceUnavailable)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

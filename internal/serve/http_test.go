@@ -1,0 +1,173 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vidperf/internal/serve"
+	"vidperf/internal/telemetry"
+)
+
+// get performs one request against the engine's handler.
+func doReq(t *testing.T, eng *serve.Engine, method, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	eng.Handler().ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	return rec
+}
+
+// windowsBody returns the /windows response body (the ring fold).
+func windowsBody(t *testing.T, eng *serve.Engine) []byte {
+	t.Helper()
+	rec := doReq(t, eng, http.MethodGet, "/windows")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /windows = %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec.Body.Bytes()
+}
+
+// TestHandlerBeforeFirstWindow: a freshly-started engine serves health
+// and status but 503s the telemetry views, and /checkpoint without a
+// configured path is a 409.
+func TestHandlerBeforeFirstWindow(t *testing.T) {
+	eng, err := serve.NewEngine(testConfig(5, 0), quietLog())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if rec := doReq(t, eng, http.MethodGet, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("GET /healthz = %d", rec.Code)
+	}
+	for _, path := range []string{"/snapshot", "/windows"} {
+		if rec := doReq(t, eng, http.MethodGet, path); rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s before any window = %d, want 503", path, rec.Code)
+		}
+	}
+	if rec := doReq(t, eng, http.MethodGet, "/diagnose"); rec.Code != http.StatusNotFound {
+		t.Errorf("GET /diagnose with diagnosis off = %d, want 404", rec.Code)
+	}
+	if rec := doReq(t, eng, http.MethodPost, "/checkpoint"); rec.Code != http.StatusConflict {
+		t.Errorf("POST /checkpoint without a path = %d, want 409", rec.Code)
+	}
+	if rec := doReq(t, eng, http.MethodPost, "/snapshot"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /snapshot = %d, want 405", rec.Code)
+	}
+	rec := doReq(t, eng, http.MethodGet, "/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /status = %d", rec.Code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("status JSON: %v", err)
+	}
+	if st["windows_done"] != float64(0) {
+		t.Errorf("fresh engine windows_done = %v", st["windows_done"])
+	}
+	// /metrics works from the first scrape, before any window closes.
+	if rec := doReq(t, eng, http.MethodGet, "/metrics"); rec.Code != http.StatusOK {
+		t.Errorf("GET /metrics before any window = %d", rec.Code)
+	}
+}
+
+// TestHandlerAfterWindows: the telemetry views come alive once windows
+// close, /snapshot serves the exact cumulative bytes, and /windows
+// serves a windowed snapshot covering the ring.
+func TestHandlerAfterWindows(t *testing.T) {
+	cfg := testConfig(7, 0)
+	cfg.MaxWindows = 2
+	cfg.Diagnose = true
+	eng := runEngine(t, cfg)
+
+	rec := doReq(t, eng, http.MethodGet, "/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /snapshot = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), engineSnapshotBytes(t, eng)) {
+		t.Error("/snapshot body differs from WriteSnapshot")
+	}
+	sn, err := telemetry.ReadSnapshot(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("/snapshot is not a readable snapshot: %v", err)
+	}
+	if sn.Counter(telemetry.CounterSessions) != 2*uint64(cfg.SessionsPerWindow) {
+		t.Errorf("cumulative sessions = %d, want %d",
+			sn.Counter(telemetry.CounterSessions), 2*cfg.SessionsPerWindow)
+	}
+	if len(sn.Windows) != 0 || sn.VirtualMS != 0 {
+		t.Error("/snapshot carries serve-only decoration; its bytes must match the batch artifact")
+	}
+
+	wsn, err := telemetry.ReadSnapshot(bytes.NewReader(windowsBody(t, eng)))
+	if err != nil {
+		t.Fatalf("/windows is not a readable snapshot: %v", err)
+	}
+	if len(wsn.Windows) != 2 {
+		t.Fatalf("/windows covers %d windows, want 2", len(wsn.Windows))
+	}
+	if wsn.VirtualMS != 2*cfg.WindowMS {
+		t.Errorf("/windows virtual_ms = %g, want %g", wsn.VirtualMS, 2*cfg.WindowMS)
+	}
+	for i, w := range wsn.Windows {
+		if w.Name != serve.WindowName(i) {
+			t.Errorf("window %d named %q, want %q", i, w.Name, serve.WindowName(i))
+		}
+		if got := wsn.Counter(telemetry.WindowSessionsKey(w.Name)); got != uint64(cfg.SessionsPerWindow) {
+			t.Errorf("window %s sessions = %d, want %d", w.Name, got, cfg.SessionsPerWindow)
+		}
+	}
+
+	rec = doReq(t, eng, http.MethodGet, "/diagnose")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /diagnose = %d: %s", rec.Code, rec.Body.String())
+	}
+	var rep struct {
+		Sessions uint64 `json:"sessions"`
+		Labelled uint64 `json:"labelled"`
+		Rows     []struct {
+			Label string `json:"label"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("diagnose JSON: %v", err)
+	}
+	if rep.Sessions != 2*uint64(cfg.SessionsPerWindow) || len(rep.Rows) == 0 {
+		t.Errorf("diagnose report covers %d sessions with %d rows", rep.Sessions, len(rep.Rows))
+	}
+
+	var st struct {
+		WindowsDone int     `json:"windows_done"`
+		VirtualMS   float64 `json:"virtual_ms"`
+		RingHeld    int     `json:"ring_held"`
+	}
+	rec = doReq(t, eng, http.MethodGet, "/status")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("status JSON: %v", err)
+	}
+	if st.WindowsDone != 2 || st.VirtualMS != 2*cfg.WindowMS || st.RingHeld != 2 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestRingTrimming: the /windows view holds at most Config.Ring closed
+// windows, dropping the oldest.
+func TestRingTrimming(t *testing.T) {
+	cfg := testConfig(9, 0)
+	cfg.SessionsPerWindow = 40
+	cfg.Ring = 2
+	cfg.MaxWindows = 4
+	eng := runEngine(t, cfg)
+	wsn, err := telemetry.ReadSnapshot(bytes.NewReader(windowsBody(t, eng)))
+	if err != nil {
+		t.Fatalf("/windows: %v", err)
+	}
+	if len(wsn.Windows) != 2 {
+		t.Fatalf("ring holds %d windows, want 2", len(wsn.Windows))
+	}
+	names := []string{wsn.Windows[0].Name, wsn.Windows[1].Name}
+	if names[0] != serve.WindowName(2) || names[1] != serve.WindowName(3) {
+		t.Fatalf("ring kept %v, want the two newest windows", strings.Join(names, ", "))
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vidperf/internal/workload"
+)
+
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func internalEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	eng, err := NewEngine(cfg, discardLog())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return eng
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{1.5, "1.5"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNanToZero(t *testing.T) {
+	if got := nanToZero(math.NaN()); got != 0 {
+		t.Fatalf("nanToZero(NaN) = %g", got)
+	}
+	if got := nanToZero(2.5); got != 2.5 {
+		t.Fatalf("nanToZero(2.5) = %g", got)
+	}
+}
+
+func TestCheckpointNowWithoutPath(t *testing.T) {
+	eng := internalEngine(t, Config{Scenario: workload.Scenario{NumPrefixes: 10}})
+	if err := eng.checkpointNow(); err == nil {
+		t.Fatal("checkpointNow with no path configured did not error")
+	}
+}
+
+func TestCheckpointNowUnwritableDir(t *testing.T) {
+	cfg := Config{
+		Scenario:       workload.Scenario{NumPrefixes: 10},
+		CheckpointPath: filepath.Join(t.TempDir(), "no-such-dir", "svc.ckpt"),
+	}
+	eng := internalEngine(t, cfg)
+	if err := eng.checkpointNow(); err == nil {
+		t.Fatal("checkpointNow into a missing directory did not error")
+	}
+}
+
+// TestDrainCheckpointRequests queues a synchronous checkpoint request and
+// lets the boundary drain answer it: the checkpoint lands on disk and the
+// reply reports the covered state.
+func TestDrainCheckpointRequests(t *testing.T) {
+	cfg := Config{
+		Scenario:       workload.Scenario{NumPrefixes: 10},
+		CheckpointPath: filepath.Join(t.TempDir(), "svc.ckpt"),
+	}
+	eng := internalEngine(t, cfg)
+	reply := make(chan ckptReply, 1)
+	eng.ckptReq <- reply
+	eng.drainCheckpointRequests()
+	rep := <-reply
+	if rep.err != nil {
+		t.Fatalf("checkpoint request failed: %v", rep.err)
+	}
+	if rep.Path != cfg.CheckpointPath {
+		t.Fatalf("reply path = %q, want %q", rep.Path, cfg.CheckpointPath)
+	}
+	if _, err := LoadCheckpoint(cfg.CheckpointPath); err != nil {
+		t.Fatalf("written checkpoint does not load: %v", err)
+	}
+	// An empty queue drains as a no-op.
+	eng.drainCheckpointRequests()
+}
+
+// TestFailCheckpointWaiters pins the engine-death path: queued waiters
+// get an error instead of hanging forever.
+func TestFailCheckpointWaiters(t *testing.T) {
+	eng := internalEngine(t, Config{Scenario: workload.Scenario{NumPrefixes: 10}})
+	reply := make(chan ckptReply, 1)
+	eng.ckptReq <- reply
+	eng.failCheckpointWaiters(errors.New("window exploded"))
+	rep := <-reply
+	if rep.err == nil {
+		t.Fatal("waiter got a nil error from a dead engine")
+	}
+	if !strings.Contains(rep.err.Error(), "engine stopped") {
+		t.Fatalf("waiter error = %v, want an engine-stopped wrapper", rep.err)
+	}
+	eng.failCheckpointWaiters(errors.New("again")) // empty queue: no-op
+}

@@ -1,0 +1,149 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vidperf/internal/serve"
+)
+
+// TestPacedRunServicesLiveCheckpoints runs a paced engine (real wall
+// sleeps between windows) while POSTing /checkpoint from the outside:
+// the request must be serviced at a boundary or during the pace wait,
+// and the written checkpoint must load.
+func TestPacedRunServicesLiveCheckpoints(t *testing.T) {
+	cfg := testConfig(21, 2)
+	cfg.SessionsPerWindow = 60
+	cfg.MaxWindows = 2
+	// 60000 virtual ms per window at pace 200 → 300 wall ms per window,
+	// far longer than the ~ms simulation, so Run spends most of its time
+	// in the pace wait where requests are serviced.
+	cfg.Pace = 200
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "svc.ckpt")
+
+	eng, err := serve.NewEngine(cfg, quietLog())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- eng.Run(context.Background()) }()
+
+	h := eng.Handler()
+	deadline := time.Now().Add(30 * time.Second)
+	var ckptOK bool
+	for !ckptOK && time.Now().Before(deadline) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/checkpoint", nil))
+		if rec.Code == http.StatusOK {
+			ckptOK = true
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !ckptOK {
+		t.Fatal("no POST /checkpoint succeeded while the paced engine ran")
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ck, err := serve.LoadCheckpoint(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if ck.WindowsDone < 1 || ck.WindowsDone > cfg.MaxWindows {
+		t.Fatalf("checkpoint covers %d windows, want 1..%d", ck.WindowsDone, cfg.MaxWindows)
+	}
+}
+
+// TestPacedRunStopsOnCancel cancels a paced open-ended run mid-wait: Run
+// must return promptly and cleanly instead of sleeping out the window.
+func TestPacedRunStopsOnCancel(t *testing.T) {
+	cfg := testConfig(22, 2)
+	cfg.SessionsPerWindow = 60
+	// MaxWindows 0 (run forever) at a pace slow enough — 10 wall seconds
+	// per window — that the test cancels during the first pace wait.
+	cfg.Pace = 6
+	eng, err := serve.NewEngine(cfg, quietLog())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- eng.Run(ctx) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for eng.WindowsDone() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if eng.WindowsDone() == 0 {
+		t.Fatal("first window never closed")
+	}
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("cancelled Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if eng.WindowsDone() != 1 {
+		t.Fatalf("engine closed %d windows, want exactly 1", eng.WindowsDone())
+	}
+}
+
+// TestHandleCheckpointBackpressure pins the two refusal paths of the
+// HTTP checkpoint handler on an idle engine: a cancelled request context
+// returns 503 without hanging, and once the request queue is full
+// further requests are refused immediately.
+func TestHandleCheckpointBackpressure(t *testing.T) {
+	cfg := testConfig(23, 1)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "svc.ckpt")
+	eng, err := serve.NewEngine(cfg, quietLog())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	h := eng.Handler()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// The queue holds 16 requests; each cancelled request returns but
+	// leaves its entry queued because no engine goroutine is draining.
+	for i := 0; i < 16; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/checkpoint", nil).WithContext(cancelled)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("cancelled checkpoint request %d = %d, want 503", i, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/checkpoint", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("request against a full queue = %d, want 503", rec.Code)
+	}
+}
+
+// TestEngineConfigDefaults pins the effective configuration the Config
+// accessor reports after default resolution.
+func TestEngineConfigDefaults(t *testing.T) {
+	cfg := serve.Config{Scenario: testScenario(5, 1)}
+	eng, err := serve.NewEngine(cfg, quietLog())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	eff := eng.Config()
+	if eff.SessionsPerWindow != 300 {
+		t.Fatalf("SessionsPerWindow defaulted to %d, want the scenario's 300", eff.SessionsPerWindow)
+	}
+	if eff.WindowMS <= 0 {
+		t.Fatalf("WindowMS defaulted to %g", eff.WindowMS)
+	}
+	if eff.Ring != 12 {
+		t.Fatalf("Ring defaulted to %d, want 12", eff.Ring)
+	}
+}

@@ -1,0 +1,73 @@
+package session
+
+import (
+	"sync/atomic"
+
+	"vidperf/internal/core"
+)
+
+// Progress is a set of atomic counters a long-running caller (the serve
+// engine, a progress bar) can poll while a run is in flight. The runner
+// publishes into it from shard goroutines; readers see monotonically
+// increasing values with no locking. All fields reset to zero via Reset
+// between runs.
+type Progress struct {
+	// Sessions and Chunks count finished sessions and their emitted chunk
+	// records across all shards of the current run.
+	Sessions atomic.Uint64
+	Chunks   atomic.Uint64
+	// ShardsDone / ShardsTotal track shard completion; their difference is
+	// the depth of the shard work queue (shards planned but not yet
+	// drained).
+	ShardsDone  atomic.Int64
+	ShardsTotal atomic.Int64
+}
+
+// Reset zeroes every counter. Call it between runs; never while a run
+// that publishes into p is in flight.
+func (p *Progress) Reset() {
+	p.Sessions.Store(0)
+	p.Chunks.Store(0)
+	p.ShardsDone.Store(0)
+	p.ShardsTotal.Store(0)
+}
+
+// QueueDepth returns the number of planned shards not yet drained.
+func (p *Progress) QueueDepth() int64 {
+	d := p.ShardsTotal.Load() - p.ShardsDone.Load()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// countingSink wraps a shard's record sink, ticking the shared Progress
+// counters as sessions finish. It forwards the RecordReserver capability
+// so pre-sizing still reaches the wrapped sink.
+type countingSink struct {
+	inner core.RecordSink
+	prog  *Progress
+}
+
+func (c *countingSink) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRecord) {
+	c.inner.ConsumeSession(s, chunks)
+	c.prog.Sessions.Add(1)
+	c.prog.Chunks.Add(uint64(len(chunks)))
+}
+
+func (c *countingSink) ReserveRecords(sessions, chunks int) {
+	if r, ok := c.inner.(core.RecordReserver); ok {
+		r.ReserveRecords(sessions, chunks)
+	}
+}
+
+// countingFactory wraps a sink factory so every shard sink it builds
+// publishes into prog. A nil prog returns the factory unchanged.
+func countingFactory(factory SinkFactory, prog *Progress) SinkFactory {
+	if prog == nil {
+		return factory
+	}
+	return func(popID int) core.RecordSink {
+		return &countingSink{inner: factory(popID), prog: prog}
+	}
+}

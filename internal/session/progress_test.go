@@ -1,0 +1,118 @@
+package session
+
+import (
+	"testing"
+
+	"vidperf/internal/core"
+	"vidperf/internal/telemetry"
+)
+
+// TestProgressPublishedDuringRun drives a streamed run with a Progress
+// attached and checks the counters land on the run's true totals: every
+// session and chunk ticked, every planned shard drained.
+func TestProgressPublishedDuringRun(t *testing.T) {
+	sc := smallScenario(3)
+	sc.Parallelism = 2
+	var prog Progress
+	// Pre-poison the counters: RunTelemetryOpts must Reset before
+	// publishing, or a reused Progress double-counts across windows.
+	prog.Sessions.Store(99)
+	prog.ShardsTotal.Store(99)
+
+	sn, err := RunTelemetryOpts(sc, TelemetryOptions{SketchK: 64, Progress: &prog})
+	if err != nil {
+		t.Fatalf("RunTelemetryOpts: %v", err)
+	}
+
+	if got, want := prog.Sessions.Load(), sn.Counter(telemetry.CounterSessions); got != want {
+		t.Fatalf("Progress.Sessions = %d, snapshot says %d", got, want)
+	}
+	if got, want := prog.Chunks.Load(), sn.Counter(telemetry.CounterChunks); got != want {
+		t.Fatalf("Progress.Chunks = %d, snapshot says %d", got, want)
+	}
+	if prog.ShardsTotal.Load() == 0 {
+		t.Fatal("no shards were planned")
+	}
+	if done, total := prog.ShardsDone.Load(), prog.ShardsTotal.Load(); done != total {
+		t.Fatalf("ShardsDone = %d, ShardsTotal = %d after the run", done, total)
+	}
+	if d := prog.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth = %d after the run", d)
+	}
+}
+
+func TestProgressResetAndQueueDepth(t *testing.T) {
+	var p Progress
+	p.Sessions.Store(5)
+	p.Chunks.Store(50)
+	p.ShardsTotal.Store(8)
+	p.ShardsDone.Store(3)
+	if d := p.QueueDepth(); d != 5 {
+		t.Fatalf("QueueDepth = %d, want 5", d)
+	}
+	p.Reset()
+	if p.Sessions.Load() != 0 || p.Chunks.Load() != 0 ||
+		p.ShardsTotal.Load() != 0 || p.ShardsDone.Load() != 0 {
+		t.Fatal("Reset left a counter non-zero")
+	}
+	// A racing reader can observe done > total mid-reset; depth clamps at
+	// zero rather than going negative.
+	p.ShardsDone.Store(2)
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth = %d with done > total, want 0", d)
+	}
+}
+
+// reservingSink records ReserveRecords calls so the forwarding in
+// countingSink is observable.
+type reservingSink struct {
+	core.Dataset
+	reservedSessions int
+	reservedChunks   int
+}
+
+func (r *reservingSink) ReserveRecords(sessions, chunks int) {
+	r.reservedSessions += sessions
+	r.reservedChunks += chunks
+}
+
+func TestCountingSinkForwardsReserve(t *testing.T) {
+	inner := &reservingSink{}
+	var prog Progress
+	cs := &countingSink{inner: inner, prog: &prog}
+	cs.ReserveRecords(10, 200)
+	if inner.reservedSessions != 10 || inner.reservedChunks != 200 {
+		t.Fatalf("reserve not forwarded: got (%d, %d)", inner.reservedSessions, inner.reservedChunks)
+	}
+	cs.ConsumeSession(core.SessionRecord{}, make([]core.ChunkRecord, 3))
+	if prog.Sessions.Load() != 1 || prog.Chunks.Load() != 3 {
+		t.Fatalf("counters = (%d, %d), want (1, 3)", prog.Sessions.Load(), prog.Chunks.Load())
+	}
+	if len(inner.Sessions) != 1 || len(inner.Chunks) != 3 {
+		t.Fatal("records did not reach the wrapped sink")
+	}
+
+	// A sink without the reserve capability is tolerated, not crashed.
+	plain := &countingSink{inner: &core.Dataset{}, prog: &prog}
+	plain.ReserveRecords(1, 1)
+}
+
+func TestCountingFactory(t *testing.T) {
+	base := SinkFactory(func(popID int) core.RecordSink { return &core.Dataset{} })
+	// nil progress: the factory passes through untouched.
+	if sink := countingFactory(base, nil)(0); sink == nil {
+		t.Fatal("nil-progress factory built no sink")
+	} else if _, wrapped := sink.(*countingSink); wrapped {
+		t.Fatal("nil-progress factory still wrapped the sink")
+	}
+	var prog Progress
+	sink := countingFactory(base, &prog)(0)
+	cs, ok := sink.(*countingSink)
+	if !ok {
+		t.Fatalf("factory built %T, want *countingSink", sink)
+	}
+	cs.ConsumeSession(core.SessionRecord{}, nil)
+	if prog.Sessions.Load() != 1 {
+		t.Fatal("wrapped sink does not publish into the progress")
+	}
+}

@@ -107,11 +107,22 @@ func RunOnPopulation(pop *workload.Population) (*core.Dataset, error) {
 // RunOnPopulationWithSinks is RunWithSinks against an already-built
 // population.
 func RunOnPopulationWithSinks(pop *workload.Population, factory SinkFactory) error {
-	shards, err := planShards(pop, factory)
+	return runOnPopulationWithSinks(pop, factory, nil)
+}
+
+// runOnPopulationWithSinks is the shared core: when prog is non-nil,
+// every shard sink is wrapped to tick its counters and shard completion
+// is published as shards drain. The wrapping changes no record content
+// or ordering, so the byte-identity guarantees are untouched.
+func runOnPopulationWithSinks(pop *workload.Population, factory SinkFactory, prog *Progress) error {
+	shards, err := planShards(pop, countingFactory(factory, prog))
 	if err != nil {
 		return err
 	}
-	executeShards(pop.Scenario.Parallelism, shards)
+	if prog != nil {
+		prog.ShardsTotal.Store(int64(len(shards)))
+	}
+	executeShards(pop.Scenario.Parallelism, shards, prog)
 	return nil
 }
 
@@ -196,7 +207,7 @@ func planShards(pop *workload.Population, factory SinkFactory) ([]*slotShard, er
 // executeShards runs every shard's event loop, at most parallelism at a
 // time. Shard weights (session counts) let the scheduler start the
 // heaviest shards first so the run's tail is not one hot server.
-func executeShards(parallelism int, shards []*slotShard) {
+func executeShards(parallelism int, shards []*slotShard, prog *Progress) {
 	byID := make(map[int]*slotShard, len(shards))
 	simShards := make([]*sim.Shard, 0, len(shards))
 	for _, sh := range shards {
@@ -205,6 +216,9 @@ func executeShards(parallelism int, shards []*slotShard) {
 	}
 	sim.RunShards(parallelism, simShards, func(s *sim.Shard) {
 		byID[s.ID].run()
+		if prog != nil {
+			prog.ShardsDone.Add(1)
+		}
 	})
 }
 
@@ -223,7 +237,7 @@ func (sh *slotShard) run() {
 		WarmPoP(fleet, sh.pop.Catalog, sh.popID)
 	}
 	eng := &sh.shard.Engine
-	scheduleTimelineEvents(eng, fleet, sh.popID, sc.Timeline)
+	scheduleTimelineEvents(eng, fleet, sh.popID, sc.Timeline, sc.ArrivalOffsetMS)
 	for _, ref := range sh.refs {
 		id := ref.ID
 		eng.At(ref.ArrivalMS, func(float64) {
@@ -241,8 +255,10 @@ func (sh *slotShard) run() {
 // arriving at that exact instant — the same deterministic order on every
 // run and at every parallelism, since each shard mutates only its own
 // servers inside its own event system. A partial fleet's server slice
-// has nil entries for slots other shards own; they are skipped.
-func scheduleTimelineEvents(eng *sim.Engine, fleet *cdn.Fleet, popID int, tl timeline.Timeline) {
+// has nil entries for slots other shards own; they are skipped. Phase
+// times are window-relative; offsetMS (Scenario.ArrivalOffsetMS) shifts
+// them onto the same virtual clock as the offset arrivals.
+func scheduleTimelineEvents(eng *sim.Engine, fleet *cdn.Fleet, popID int, tl timeline.Timeline, offsetMS float64) {
 	for _, ph := range tl.Phases {
 		f := ph.Effects.CacheCapacityFactor
 		if f <= 0 || f == 1 {
@@ -260,8 +276,8 @@ func scheduleTimelineEvents(eng *sim.Engine, fleet *cdn.Fleet, popID int, tl tim
 				}
 			}
 		}
-		eng.At(ph.StartMS, resize(f))
-		eng.At(ph.EndMS, resize(1))
+		eng.At(offsetMS+ph.StartMS, resize(f))
+		eng.At(offsetMS+ph.EndMS, resize(1))
 	}
 }
 

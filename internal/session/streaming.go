@@ -3,6 +3,7 @@ package session
 import (
 	"vidperf/internal/diagnose"
 	"vidperf/internal/telemetry"
+	"vidperf/internal/timeline"
 	"vidperf/internal/workload"
 )
 
@@ -16,6 +17,16 @@ type TelemetryOptions struct {
 	// sketches to the snapshot. Use &diagnose.Config{} for the default
 	// thresholds.
 	Diagnose *diagnose.Config
+	// Windows, when non-empty, overrides the report windows the campaign
+	// accumulators charge sessions to. Window bounds are on the virtual
+	// clock (i.e. they must account for Scenario.ArrivalOffsetMS, since
+	// window attribution keys on each session's absolute arrival). When
+	// nil, windows derive from the scenario's timeline as before.
+	Windows []timeline.Window
+	// Progress, when non-nil, receives live atomic counters (sessions,
+	// chunks, shard queue) while the run is in flight. It is reset at the
+	// start of the run.
+	Progress *Progress
 }
 
 // RunTelemetry executes the scenario in streaming mode and returns the
@@ -39,15 +50,33 @@ func RunTelemetry(sc workload.Scenario, sketchK int) (*telemetry.Snapshot, error
 // containing its arrival, so the snapshot carries the per-window
 // counters and QoE sketches cmd/analyze -windows renders. Window
 // attribution happens per shard and merges like every other aggregate,
-// so it too is byte-identical at any parallelism.
+// so it too is byte-identical at any parallelism. Timeline-derived
+// windows are shifted by Scenario.ArrivalOffsetMS onto the virtual
+// clock; explicit opt.Windows are taken as-is.
 func RunTelemetryOpts(sc workload.Scenario, opt TelemetryOptions) (*telemetry.Snapshot, error) {
 	eff := sc.WithDefaults()
+	windows := opt.Windows
+	if windows == nil {
+		windows = eff.Timeline.Windows(eff.ArrivalWindowMS)
+		if eff.ArrivalOffsetMS != 0 {
+			for i := range windows {
+				windows[i].StartMS += eff.ArrivalOffsetMS
+				windows[i].EndMS += eff.ArrivalOffsetMS
+			}
+		}
+	}
 	camp := telemetry.NewCampaignWith(telemetry.Config{
 		SketchK:  opt.SketchK,
 		Diagnose: opt.Diagnose,
-		Windows:  eff.Timeline.Windows(eff.ArrivalWindowMS),
+		Windows:  windows,
 	})
-	if err := RunWithSinks(sc, camp.Sink); err != nil {
+	if opt.Progress != nil {
+		opt.Progress.Reset()
+	}
+	if _, err := NewABR(sc.ABRName); err != nil {
+		return nil, err
+	}
+	if err := runOnPopulationWithSinks(workload.Build(sc), camp.Sink, opt.Progress); err != nil {
 		return nil, err
 	}
 	return camp.Snapshot(), nil

@@ -53,6 +53,13 @@ func (h *Histogram) Add(v float64) {
 	}
 }
 
+// Clone returns an independent deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
 // Merge adds o's counts into h. The two histograms must have the same
 // range and bin count; Merge panics otherwise (mixed shapes are a
 // programming error, not a data condition).

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func snapshotBytesOf(t *testing.T, sn *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sn); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeSnapshotsAccumulates: folding two sub-campaign snapshots adds
+// their counters, pools their sketch samples, and sums their histograms
+// — the aggregates a fold must carry exactly.
+func TestMergeSnapshotsAccumulates(t *testing.T) {
+	a := NewAccumulatorWith(Config{SketchK: 32})
+	b := NewAccumulatorWith(Config{SketchK: 32})
+	both := NewAccumulatorWith(Config{SketchK: 32})
+	for id := uint64(1); id <= 10; id++ {
+		rec := windowSession(id, float64(id*100), float64(400+id*20))
+		if id <= 5 {
+			a.ConsumeSession(rec, nil)
+		} else {
+			b.ConsumeSession(rec, nil)
+		}
+		both.ConsumeSession(rec, nil)
+	}
+	merged, err := MergeSnapshots(nil, a.snapshot())
+	if err != nil {
+		t.Fatalf("MergeSnapshots(nil, a): %v", err)
+	}
+	merged, err = MergeSnapshots(merged, b.snapshot())
+	if err != nil {
+		t.Fatalf("MergeSnapshots(merged, b): %v", err)
+	}
+	want := both.snapshot()
+	for _, c := range []string{CounterSessions, CounterChunks} {
+		if merged.Counter(c) != want.Counter(c) {
+			t.Errorf("counter %s = %d, want %d", c, merged.Counter(c), want.Counter(c))
+		}
+	}
+	if got, w := merged.Sketch(MetricStartupMS).N(), want.Sketch(MetricStartupMS).N(); got != w {
+		t.Errorf("startup sketch N = %d, want %d", got, w)
+	}
+	if h, hw := merged.Histogram(MetricStartupMS), want.Histogram(MetricStartupMS); h.N() != hw.N() || h.Mean() != hw.Mean() {
+		t.Errorf("startup histogram (N=%d mean=%g), want (N=%d mean=%g)", h.N(), h.Mean(), hw.N(), hw.Mean())
+	}
+}
+
+// TestMergeSnapshotsNilDstClones: starting a fold from nil deep-copies
+// the source — the fold's later mutations must never leak back into the
+// window snapshot it started from.
+func TestMergeSnapshotsNilDstClones(t *testing.T) {
+	a := NewAccumulatorWith(Config{SketchK: 32})
+	for id := uint64(1); id <= 6; id++ {
+		a.ConsumeSession(windowSession(id, float64(id*50), 600), nil)
+	}
+	src := a.snapshot()
+	before := snapshotBytesOf(t, src)
+
+	fold, err := MergeSnapshots(nil, src)
+	if err != nil {
+		t.Fatalf("MergeSnapshots(nil, src): %v", err)
+	}
+	if !bytes.Equal(snapshotBytesOf(t, fold), before) {
+		t.Fatal("fold started from nil is not byte-identical to its source")
+	}
+
+	b := NewAccumulatorWith(Config{SketchK: 32})
+	for id := uint64(7); id <= 12; id++ {
+		b.ConsumeSession(windowSession(id, float64(id*50), 900), nil)
+	}
+	if _, err := MergeSnapshots(fold, b.snapshot()); err != nil {
+		t.Fatalf("MergeSnapshots(fold, b): %v", err)
+	}
+	if !bytes.Equal(snapshotBytesOf(t, src), before) {
+		t.Fatal("merging into the fold mutated the source snapshot")
+	}
+}
+
+// TestMergeSnapshotsRejectsMismatchedShapes: sketch-k and histogram
+// geometry mismatches are hard errors, not silent corruption.
+func TestMergeSnapshotsRejectsMismatchedShapes(t *testing.T) {
+	a := NewAccumulatorWith(Config{SketchK: 32})
+	a.ConsumeSession(windowSession(1, 100, 500), nil)
+	b := NewAccumulatorWith(Config{SketchK: 64})
+	b.ConsumeSession(windowSession(2, 200, 500), nil)
+	if _, err := MergeSnapshots(a.snapshot(), b.snapshot()); err == nil {
+		t.Fatal("merging sketch k=64 into k=32 did not error")
+	}
+
+	h1 := NewHistogram(0, 100, 10)
+	h2 := NewHistogram(0, 200, 10)
+	s1 := &Snapshot{Schema: SnapshotSchema, SketchK: 32,
+		Sketches: map[string]*QuantileSketch{}, Counters: map[string]uint64{},
+		Histograms: map[string]*Histogram{"m": h1}}
+	s2 := &Snapshot{Schema: SnapshotSchema, SketchK: 32,
+		Sketches: map[string]*QuantileSketch{}, Counters: map[string]uint64{},
+		Histograms: map[string]*Histogram{"m": h2}}
+	if _, err := MergeSnapshots(s1, s2); err == nil {
+		t.Fatal("merging histograms with different bounds did not error")
+	}
+}
+
+// TestWithoutWindowsMatchesUnwindowedRun pins the identity serve's
+// cumulative fold stands on: a windowed run's snapshot, with every
+// window-keyed entry stripped, is byte-identical to the snapshot the
+// same record stream produces with no windows configured at all.
+func TestWithoutWindowsMatchesUnwindowedRun(t *testing.T) {
+	windowed := NewAccumulatorWith(Config{SketchK: 32, Windows: testWindows()})
+	plain := NewAccumulatorWith(Config{SketchK: 32})
+	for id := uint64(1); id <= 30; id++ {
+		rec := windowSession(id, float64(id*90), float64(300+id*15))
+		windowed.ConsumeSession(rec, nil)
+		plain.ConsumeSession(rec, nil)
+	}
+	wsn := windowed.snapshot()
+	if len(wsn.Windows) == 0 {
+		t.Fatal("windowed snapshot carries no window list")
+	}
+	stripped := WithoutWindows(wsn)
+	if stripped.Windows != nil {
+		t.Fatal("WithoutWindows kept the window list")
+	}
+	if !bytes.Equal(snapshotBytesOf(t, stripped), snapshotBytesOf(t, plain.snapshot())) {
+		t.Fatal("window-stripped snapshot differs from the unwindowed run")
+	}
+	for name := range stripped.Sketches {
+		if containsWindowMark(name) {
+			t.Errorf("window-keyed sketch %q survived stripping", name)
+		}
+	}
+	for name := range stripped.Counters {
+		if containsWindowMark(name) {
+			t.Errorf("window-keyed counter %q survived stripping", name)
+		}
+	}
+}
+
+func containsWindowMark(name string) bool {
+	return bytes.Contains([]byte(name), []byte(windowKeyMark))
+}
+
+// TestSnapshotVirtualMSRoundTrip: the serve-mode stamp survives the wire
+// and stays omitted for batch snapshots (zero value).
+func TestSnapshotVirtualMSRoundTrip(t *testing.T) {
+	a := NewAccumulatorWith(Config{SketchK: 32})
+	a.ConsumeSession(windowSession(1, 100, 500), nil)
+	sn := a.snapshot()
+	if b := snapshotBytesOf(t, sn); bytes.Contains(b, []byte("virtual_ms")) {
+		t.Fatal("batch snapshot carries virtual_ms")
+	}
+	sn.VirtualMS = 3600000
+	rt, err := ReadSnapshot(bytes.NewReader(snapshotBytesOf(t, sn)))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if rt.VirtualMS != 3600000 {
+		t.Fatalf("VirtualMS round-tripped to %g", rt.VirtualMS)
+	}
+}

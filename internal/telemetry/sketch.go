@@ -89,6 +89,27 @@ func (s *QuantileSketch) Add(v float64) {
 	s.compactAll()
 }
 
+// Clone returns an independent deep copy of the sketch — identical state
+// (including the compaction parity), so the copy continues the stream
+// exactly as the original would. Checkpointing and snapshot folding in
+// continuous service mode rely on this.
+func (s *QuantileSketch) Clone() *QuantileSketch {
+	c := &QuantileSketch{
+		k:   s.k,
+		n:   s.n,
+		min: s.min,
+		max: s.max,
+	}
+	if s.levels != nil {
+		c.levels = make([][]float64, len(s.levels))
+		for h, lvl := range s.levels {
+			c.levels[h] = append(make([]float64, 0, s.k), lvl...)
+		}
+		c.parity = append([]bool(nil), s.parity...)
+	}
+	return c
+}
+
 // Merge folds o into s. o is not modified. The result depends only on the
 // two states and their order, so callers that need reproducible output
 // must merge in a canonical order (the telemetry pipeline uses ascending

@@ -24,6 +24,11 @@ const SnapshotSchema = 1
 type Snapshot struct {
 	Schema  int `json:"schema"`
 	SketchK int `json:"sketch_k"`
+	// VirtualMS stamps the snapshot with the virtual-clock time it covers
+	// up to. Continuous service mode (internal/serve) sets it on window and
+	// checkpoint snapshots; batch runs leave it zero and the field is
+	// omitted, so existing snapshot bytes are unchanged.
+	VirtualMS float64 `json:"virtual_ms,omitempty"`
 	// Labels carries free-form provenance (spec name, cell name, seed…)
 	// attached by campaign drivers. Maps marshal with sorted keys, so
 	// labels do not disturb snapshot determinism; they are ignored by the

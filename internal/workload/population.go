@@ -50,6 +50,15 @@ type Scenario struct {
 	// (default 30 minutes), interleaving sessions at the servers.
 	ArrivalWindowMS float64
 
+	// ArrivalOffsetMS shifts every arrival (and the timeline, if any) by a
+	// constant virtual-time offset without changing a single RNG draw: the
+	// plan head still draws arrivals relative to the window, and the offset
+	// is added afterwards. Continuous service mode (internal/serve) uses it
+	// to stack an open-ended sequence of window campaigns end to end on one
+	// virtual clock; the zero value is byte-identical to the pre-offset
+	// behaviour.
+	ArrivalOffsetMS float64
+
 	// GPUFrac is the share of clients with hardware rendering
 	// (default 0.45).
 	GPUFrac float64
@@ -336,7 +345,11 @@ func (p *Population) PlanSession(id uint64) SessionPlan {
 			plan.ClientIP = plan.HTTPIP
 		}
 	}
+	// Phase effects latch on the window-relative arrival; the constant
+	// campaign offset is added last so a timeline and an offset compose as
+	// a rigid shift of the whole window.
 	p.applyPhaseEffects(&plan)
+	plan.ArrivalMS += p.Scenario.ArrivalOffsetMS
 	return plan
 }
 
@@ -351,7 +364,9 @@ func (p *Population) warpArrival(u float64) float64 {
 // PlanSession consumes them — and returns the RNG positioned for the
 // remaining draws. It is the single place that draw order lives, so the
 // partitioner, the arrival scheduler, and the full planner can never
-// disagree.
+// disagree. The returned arrival is window-relative: timeline phase
+// lookups key on it, and callers that need the virtual-clock arrival add
+// Scenario.ArrivalOffsetMS themselves.
 func (p *Population) planHead(id uint64) (r *stats.Rand, pre *Prefix, video *catalog.Video, watch int, arrival float64) {
 	r = stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
 	pre = p.SamplePrefix(r)
@@ -414,7 +429,7 @@ func (p *Population) applyPhaseEffects(plan *SessionPlan) {
 // position inside the plan.
 func (p *Population) SessionArrival(id uint64) float64 {
 	_, _, _, _, arrival := p.planHead(id)
-	return arrival
+	return arrival + p.Scenario.ArrivalOffsetMS
 }
 
 // SessionPoP returns the PoP that will serve session id. It must agree
@@ -486,7 +501,7 @@ func (p *Population) PartitionBySlot(cfg cdn.FleetConfig) ([][]SessionRef, []int
 		}
 		slot := cdn.SlotFor(cfg, video.ID, video.Rank, id)
 		b := pop*cfg.ServersPerPoP + slot
-		parts[b] = append(parts[b], SessionRef{ID: id, ArrivalMS: arrival})
+		parts[b] = append(parts[b], SessionRef{ID: id, ArrivalMS: arrival + p.Scenario.ArrivalOffsetMS})
 		chunks[b] += watch
 	}
 	return parts, chunks
