@@ -54,11 +54,11 @@ var (
 // benchDataset simulates the shared measurement campaign once.
 func benchDataset() *core.Dataset {
 	benchOnce.Do(func() {
-		raw, err := session.Run(benchScenario(0))
+		res, err := session.Execute(benchScenario(0), session.Options{})
 		if err != nil {
 			panic(err)
 		}
-		benchDS = core.FilterProxies(raw, core.ProxyFilterConfig{}).Kept
+		benchDS = core.FilterProxies(res.Dataset, core.ProxyFilterConfig{}).Kept
 	})
 	return benchDS
 }
@@ -138,16 +138,16 @@ func BenchmarkDatasetStats(b *testing.B) {
 // (sessions/op at a small scale).
 func BenchmarkSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ds, err := session.Run(workload.Scenario{
+		res, err := session.Execute(workload.Scenario{
 			Seed:        uint64(i + 1),
 			NumSessions: 300,
 			NumPrefixes: 150,
 			Catalog:     catalog.Config{NumVideos: 1000},
-		})
+		}, session.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(ds.Chunks) == 0 {
+		if len(res.Dataset.Chunks) == 0 {
 			b.Fatal("empty run")
 		}
 	}
@@ -165,11 +165,11 @@ func BenchmarkRunParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
 			var chunks int
 			for i := 0; i < b.N; i++ {
-				ds, err := session.Run(benchScenario(par))
+				res, err := session.Execute(benchScenario(par), session.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				chunks = len(ds.Chunks)
+				chunks = len(res.Dataset.Chunks)
 				if chunks == 0 {
 					b.Fatal("empty run")
 				}
@@ -207,17 +207,17 @@ func BenchmarkStreamingRun(b *testing.B) {
 	}
 	b.Run("collect", func(b *testing.B) {
 		measure(b, func() (any, uint64) {
-			ds, err := session.Run(benchScenario(0))
+			res, err := session.Execute(benchScenario(0), session.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			return ds, uint64(len(ds.Chunks))
+			return res.Dataset, uint64(len(res.Dataset.Chunks))
 		})
 	})
 	b.Run("stream", func(b *testing.B) {
 		measure(b, func() (any, uint64) {
 			camp := telemetry.NewCampaign(0)
-			if err := session.RunWithSinks(benchScenario(0), camp.Sink); err != nil {
+			if _, err := session.Execute(benchScenario(0), session.Options{Sinks: camp.Sink}); err != nil {
 				b.Fatal(err)
 			}
 			sn := camp.Snapshot()
@@ -255,7 +255,7 @@ func BenchmarkStreamingRun1M(b *testing.B) {
 	var chunks uint64
 	for i := 0; i < b.N; i++ {
 		camp := telemetry.NewCampaign(0)
-		if err := session.RunWithSinks(sc, camp.Sink); err != nil {
+		if _, err := session.Execute(sc, session.Options{Sinks: camp.Sink}); err != nil {
 			b.Fatal(err)
 		}
 		sn := camp.Snapshot()
@@ -321,10 +321,11 @@ func ablationRun(label string, mutate func(*workload.Scenario)) *core.Dataset {
 	if mutate != nil {
 		mutate(&sc)
 	}
-	ds, err := session.Run(sc)
+	res, err := session.Execute(sc, session.Options{})
 	if err != nil {
 		panic(err)
 	}
+	ds := res.Dataset
 	ablCache[label] = ds
 	return ds
 }

@@ -1,139 +1,184 @@
-// Command analyze reads a trace produced by cmd/vodsim and regenerates the
-// paper's figures and tables from it, printing each with the paper's
-// reported result alongside the measured one.
+// Command analyze is the reporting side of the pipeline: it renders
+// paper figures from traces and snapshots, diffs runs, and fronts the
+// campaign store (internal/store) that turns sweep directories into
+// queryable league tables.
 //
 // Usage:
 //
-//	analyze -trace trace.jsonl [-only fig05,table4] [-max-rank 6000]
-//	analyze -snapshot snap.json [-only stream-cdn]
-//	analyze -compare baseline.json candidate.json
-//	analyze -diagnose snap.json
-//	analyze -windows snap.json
+//	analyze trace [-only fig05,table4] [-max-rank 6000] [-filter-proxies=false] [trace.jsonl]
+//	analyze snapshot [-only stream-cdn] snap.json
+//	analyze compare baseline.json candidate.json
+//	analyze diagnose snap.json
+//	analyze windows snap.json
+//	analyze ingest -store campaigns.json [-sweep name] dir|snap.json ...
+//	analyze query -store campaigns.json [-sweep name] [-where k=v,...] [-group-by axis] [-rank metric] [-desc] [-limit n] [-json]
+//	analyze diff-sweep -store campaigns.json [-json] base candidate
 //
-// With -snapshot the input is a telemetry snapshot from
-// cmd/vodsim -stream: the sketch-backed subset of the figures is rendered
-// from the bounded-memory aggregates instead of per-record data. Proxy
-// preprocessing does not apply to snapshots (it needs the joined
-// dataset), so -filter-proxies is ignored in that mode.
+// analyze trace reads a JSONL trace produced by cmd/vodsim and
+// regenerates the paper's figures and tables, printing each with the
+// paper's reported result alongside the measured one. analyze snapshot
+// does the same from a telemetry snapshot (vodsim -stream): the
+// sketch-backed subset of the figures is rendered from the
+// bounded-memory aggregates instead of per-record data. Proxy
+// preprocessing needs the joined dataset, so -filter-proxies exists
+// only in trace mode.
 //
-// With -compare two snapshots are diffed instead of rendered: the flag
-// value is the baseline, the positional argument the candidate, and the
-// output is the A/B delta table (quantile shifts per sketch metric,
-// counter movements, derived rates — including per-label cause-share
-// deltas when the snapshots carry diagnosis labels). This is how
-// campaign cells produced by cmd/sweep or vodsim -spec are contrasted
-// after the fact.
+// analyze compare diffs two snapshots: the first argument is the
+// baseline, the second the candidate, and the output is the A/B delta
+// table (quantile shifts per sketch metric, counter movements, derived
+// rates — including per-label cause-share deltas when the snapshots
+// carry diagnosis labels).
 //
-// With -diagnose the input must be a snapshot from a diagnosis-enabled
-// run (vodsim -stream -diagnose, or a spec with "diagnosis": true): the
-// per-layer cause-share table and per-label QoE sketches are rendered,
-// and the command fails unless every session carries exactly one label.
+// analyze diagnose renders the per-layer cause-share table from a
+// diagnosis-enabled run (vodsim -stream -diagnose, or a spec with
+// "diagnosis": true), failing unless every session carries exactly one
+// label. analyze windows renders the per-window QoE table from a
+// timeline run, failing unless the windows cover every session.
 //
-// With -windows the input must be a snapshot from a timeline run (a
-// spec with a "timeline" block, e.g. the pop-outage preset): the
-// per-window QoE table — before/during/after each injected fault or
-// degradation phase — is rendered, plus the per-window diagnosis-label
-// mix when the run also classified sessions. The command fails unless
-// the windows cover every session (the coverage invariant).
+// analyze ingest folds snapshots into the campaign store: a directory
+// argument must hold a manifest.json from sweep -out (the manifest
+// drives the cell list and pins the sweep to one spec content hash —
+// mixing different specs under one sweep name is refused), while a
+// .json argument ingests a single loose snapshot (its "cell" label or
+// file name names the cell). Ingest is idempotent and the store's
+// bytes are independent of ingest order.
+//
+// analyze query filters the store by label (-where preset=paper),
+// optionally groups by a spec axis (-group-by zipf_s), and ranks rows
+// by any extracted scalar metric (-rank startup_ms_p95); -rank "" is
+// an error listing the available metrics. analyze diff-sweep
+// regression-diffs two ingested sweeps cell-by-cell under the default
+// thresholds and exits non-zero when the candidate regresses the base.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"vidperf/internal/core"
+	"vidperf/internal/experiment"
 	"vidperf/internal/figures"
+	"vidperf/internal/store"
 	"vidperf/internal/telemetry"
 )
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: analyze <subcommand> [flags] [args]
+
+subcommands:
+  trace       render paper figures from a JSONL trace
+  snapshot    render streaming figures from a telemetry snapshot
+  compare     diff two snapshots (baseline candidate)
+  diagnose    render the root-cause share report from a diagnosed snapshot
+  windows     render the per-window QoE report from a timeline snapshot
+  ingest      fold sweep directories or loose snapshots into a campaign store
+  query       filter/group/rank the campaign store into a league table
+  diff-sweep  regression-diff two ingested sweeps cell-by-cell
+
+run 'analyze <subcommand> -h' for that subcommand's flags.
+`)
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyze: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "trace":
+		cmdTrace(args)
+	case "snapshot":
+		cmdSnapshot(args)
+	case "compare":
+		cmdCompare(args)
+	case "diagnose":
+		cmdDiagnose(args)
+	case "windows":
+		cmdWindows(args)
+	case "ingest":
+		cmdIngest(args)
+	case "query":
+		cmdQuery(args)
+	case "diff-sweep":
+		cmdDiffSweep(args)
+	case "help", "-h", "-help", "--help":
+		usage()
+	default:
+		if strings.HasPrefix(cmd, "-") {
+			log.Fatalf("flag-style invocation was replaced by subcommands (e.g. 'analyze snapshot %s'); run 'analyze help'", strings.TrimLeft(cmd, "-"))
+		}
+		log.Fatalf("unknown subcommand %q; run 'analyze help'", cmd)
+	}
+}
 
-	var (
-		trace    = flag.String("trace", "trace.jsonl", "input JSONL trace (from vodsim)")
-		snapshot = flag.String("snapshot", "", "input telemetry snapshot (from vodsim -stream); replaces -trace")
-		compare  = flag.String("compare", "", "baseline telemetry snapshot; diffs the positional candidate snapshot against it")
-		diagnose = flag.String("diagnose", "", "telemetry snapshot with diagnosis labels (from vodsim -stream -diagnose); renders the per-layer cause-share report")
-		windows  = flag.String("windows", "", "telemetry snapshot with timeline windows (from a spec with a \"timeline\" block); renders the per-window QoE/diagnosis report")
-		only     = flag.String("only", "", "comma-separated figure IDs to render (default all)")
-		maxRank  = flag.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
-		filter   = flag.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis (trace mode only)")
-	)
-	flag.Parse()
-
-	traceSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "trace" {
-			traceSet = true
-		}
-	})
-	if *snapshot != "" && traceSet {
-		log.Fatal("invalid flags: -trace and -snapshot are mutually exclusive")
-	}
-	if *compare != "" {
-		if traceSet || *snapshot != "" || *diagnose != "" || *windows != "" {
-			log.Fatal("invalid flags: -compare excludes -trace, -snapshot, -diagnose and -windows")
-		}
-		if flag.NArg() != 1 {
-			log.Fatalf("usage: analyze -compare baseline.json candidate.json (got %d candidates)", flag.NArg())
-		}
-		runCompare(*compare, flag.Arg(0))
-		return
-	}
-	if *diagnose != "" {
-		if traceSet || *snapshot != "" || *windows != "" {
-			log.Fatal("invalid flags: -diagnose excludes -trace, -snapshot and -windows (it is a snapshot mode of its own)")
-		}
-		runDiagnose(*diagnose)
-		return
-	}
-	if *windows != "" {
-		if traceSet || *snapshot != "" {
-			log.Fatal("invalid flags: -windows excludes -trace and -snapshot (it is a snapshot mode of its own)")
-		}
-		runWindows(*windows)
-		return
+// cmdTrace renders the trace-backed figures (the original analyze
+// mode).
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("analyze trace", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated figure IDs to render (default all)")
+	maxRank := fs.Int("max-rank", 6000, "catalog size used for Fig. 6 rank thresholds")
+	filter := fs.Bool("filter-proxies", true, "apply §3 proxy preprocessing before analysis")
+	fs.Parse(args)
+	path := "trace.jsonl"
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		path = fs.Arg(0)
+	default:
+		log.Fatalf("usage: analyze trace [flags] [trace.jsonl] (got %d args)", fs.NArg())
 	}
 
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := core.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s", ds)
+	if *filter {
+		res := core.FilterProxies(ds, core.ProxyFilterConfig{})
+		log.Printf("proxy filtering kept %d/%d sessions (%.1f%%)",
+			res.KeptSessions, res.TotalSessions, 100*res.KeptFraction)
+		ds = res.Kept
+	}
+	renderFigures(figures.All(ds, *maxRank), *only)
+}
+
+// cmdSnapshot renders the sketch-backed figures from one snapshot.
+func cmdSnapshot(args []string) {
+	fs := flag.NewFlagSet("analyze snapshot", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated figure IDs to render (default all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatalf("usage: analyze snapshot [flags] snap.json (got %d args)", fs.NArg())
+	}
+	sn := loadSnapshot(fs.Arg(0))
+	log.Printf("loaded snapshot: %d sessions, %d chunks, %d sketches (k=%d)",
+		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
+		len(sn.Sketches), sn.SketchK)
+	renderFigures(figures.AllStreaming(sn), *only)
+}
+
+// renderFigures prints the selected figures and exits non-zero on any
+// shape mismatch, exactly as the flag-based modes always did.
+func renderFigures(results []figures.Result, only string) {
 	want := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
+	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			want[strings.ToLower(id)] = true
 		}
 	}
-
-	var results []figures.Result
-	if *snapshot != "" {
-		sn := loadSnapshot(*snapshot)
-		log.Printf("loaded snapshot: %d sessions, %d chunks, %d sketches (k=%d)",
-			sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks),
-			len(sn.Sketches), sn.SketchK)
-		results = figures.AllStreaming(sn)
-	} else {
-		f, err := os.Open(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ds, err := core.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded %s", ds)
-
-		if *filter {
-			res := core.FilterProxies(ds, core.ProxyFilterConfig{})
-			log.Printf("proxy filtering kept %d/%d sessions (%.1f%%)",
-				res.KeptSessions, res.TotalSessions, 100*res.KeptFraction)
-			ds = res.Kept
-		}
-		results = figures.All(ds, *maxRank)
-	}
-
 	pass, fail := 0, 0
 	for _, res := range results {
 		if len(want) > 0 && !want[res.ID] {
@@ -155,7 +200,7 @@ func main() {
 		for i, res := range results {
 			ids[i] = res.ID
 		}
-		log.Fatalf("-only %q matched no figure (this mode renders: %s)", *only, strings.Join(ids, ", "))
+		log.Fatalf("-only %q matched no figure (this mode renders: %s)", only, strings.Join(ids, ", "))
 	}
 	fmt.Printf("== %d figures reproduce, %d shape mismatches ==\n", pass, fail)
 	if fail > 0 {
@@ -163,28 +208,37 @@ func main() {
 	}
 }
 
-// runCompare loads two snapshots and prints the A/B delta table.
-func runCompare(basePath, candPath string) {
-	base := loadSnapshot(basePath)
-	cand := loadSnapshot(candPath)
+// cmdCompare diffs two snapshots (baseline first).
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("analyze compare", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		log.Fatalf("usage: analyze compare baseline.json candidate.json (got %d args)", fs.NArg())
+	}
+	base := loadSnapshot(fs.Arg(0))
+	cand := loadSnapshot(fs.Arg(1))
 	log.Printf("baseline %s: %d sessions; candidate %s: %d sessions",
-		basePath, base.Counter(telemetry.CounterSessions),
-		candPath, cand.Counter(telemetry.CounterSessions))
+		fs.Arg(0), base.Counter(telemetry.CounterSessions),
+		fs.Arg(1), cand.Counter(telemetry.CounterSessions))
 	fmt.Print(renderCompare(base, cand))
 }
 
-// renderCompare is the -compare output (a function of the two snapshots
+// renderCompare is the compare output (a function of the two snapshots
 // alone, so the golden tests can pin the table bytes).
 func renderCompare(base, cand *telemetry.Snapshot) string {
 	return figures.StreamCompare(base, cand).Render() + "\n"
 }
 
-// runDiagnose loads a diagnosis-enabled snapshot and prints the
-// cause-share report. A snapshot without labels, or whose label counts
-// fail to cover every session, exits non-zero — the coverage invariant
-// is the report's integrity check.
-func runDiagnose(path string) {
-	sn := loadSnapshot(path)
+// cmdDiagnose renders the cause-share report. A snapshot without
+// labels, or whose label counts fail to cover every session, exits
+// non-zero — the coverage invariant is the report's integrity check.
+func cmdDiagnose(args []string) {
+	fs := flag.NewFlagSet("analyze diagnose", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatalf("usage: analyze diagnose snap.json (got %d args)", fs.NArg())
+	}
+	sn := loadSnapshot(fs.Arg(0))
 	log.Printf("loaded snapshot: %d sessions, %d chunks (k=%d)",
 		sn.Counter(telemetry.CounterSessions), sn.Counter(telemetry.CounterChunks), sn.SketchK)
 	res := figures.StreamDiagnosis(sn)
@@ -194,17 +248,20 @@ func runDiagnose(path string) {
 	}
 }
 
-// renderDiagnose is the -diagnose output (pinned by the golden tests).
+// renderDiagnose is the diagnose output (pinned by the golden tests).
 func renderDiagnose(sn *telemetry.Snapshot) string {
 	return figures.StreamDiagnosis(sn).Render() + "\n"
 }
 
-// runWindows loads a timeline-run snapshot and prints the per-window
-// QoE/diagnosis report. A snapshot without windows, or whose window
-// counts fail to cover every session, exits non-zero — the coverage
-// invariant is the report's integrity check.
-func runWindows(path string) {
-	sn := loadSnapshot(path)
+// cmdWindows renders the per-window QoE/diagnosis report, failing
+// unless the windows cover every session.
+func cmdWindows(args []string) {
+	fs := flag.NewFlagSet("analyze windows", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatalf("usage: analyze windows snap.json (got %d args)", fs.NArg())
+	}
+	sn := loadSnapshot(fs.Arg(0))
 	log.Printf("loaded snapshot: %d sessions, %d windows (k=%d)",
 		sn.Counter(telemetry.CounterSessions), len(sn.Windows), sn.SketchK)
 	res := figures.StreamWindows(sn)
@@ -214,9 +271,233 @@ func runWindows(path string) {
 	}
 }
 
-// renderWindows is the -windows output (pinned by the golden tests).
+// renderWindows is the windows output (pinned by the golden tests).
 func renderWindows(sn *telemetry.Snapshot) string {
 	return figures.StreamWindows(sn).Render() + "\n"
+}
+
+// cmdIngest folds sweep directories and loose snapshots into the
+// campaign store, then saves it atomically.
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("analyze ingest", flag.ExitOnError)
+	storePath := fs.String("store", "campaigns.json", "campaign store file (created if missing)")
+	sweep := fs.String("sweep", "", "sweep name to ingest under (default: the directory manifest's spec name; required for loose snapshots)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		log.Fatal("usage: analyze ingest -store campaigns.json [-sweep name] dir|snap.json ...")
+	}
+	st, err := store.Open(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, path := range fs.Args() {
+		info, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.IsDir() {
+			name := *sweep
+			if name == "" {
+				m, err := experiment.ReadManifestFile(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				name = m.Spec
+			}
+			n, err := st.IngestDir(name, path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("ingested %d cells from %s into sweep %q", n, path, name)
+			continue
+		}
+		if *sweep == "" {
+			log.Fatalf("%s: loose snapshots need -sweep (there is no manifest to name the sweep)", path)
+		}
+		if err := st.IngestSnapshotFile(*sweep, path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingested %s into sweep %q", path, *sweep)
+	}
+	if err := st.Save(*storePath); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("store %s: %d entries across sweeps %v", *storePath, st.Len(), st.Sweeps())
+}
+
+// cmdQuery runs a filter/group/rank query against the store and prints
+// the league table (or rows as JSON with -json).
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("analyze query", flag.ExitOnError)
+	storePath := fs.String("store", "campaigns.json", "campaign store file")
+	sweep := fs.String("sweep", "", "restrict to one sweep (default all)")
+	where := fs.String("where", "", "comma-separated label filters, e.g. preset=paper,diagnosis=on")
+	groupBy := fs.String("group-by", "", "aggregate by a spec axis (or any label) instead of listing cells")
+	rank := fs.String("rank", "", "metric to rank by, e.g. startup_ms_p95, rebuffer_rate_p99, hit_ratio")
+	desc := fs.Bool("desc", false, "rank descending (largest value first)")
+	limit := fs.Int("limit", 0, "cap the number of rows (0 = all)")
+	asJSON := fs.Bool("json", false, "emit rows as JSON instead of the table")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		log.Fatalf("usage: analyze query [flags] (got %d stray args)", fs.NArg())
+	}
+	st, err := store.Open(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *rank == "" {
+		log.Fatalf("-rank is required; metrics in this store: %s", strings.Join(st.Metrics(*sweep), ", "))
+	}
+	q := store.Query{Sweep: *sweep, GroupBy: *groupBy, Rank: *rank, Desc: *desc, Limit: *limit}
+	if *where != "" {
+		q.Where, err = parseWhere(*where)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	rows, err := st.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		printJSON(rows)
+		return
+	}
+	fmt.Print(renderQuery(q, rows))
+}
+
+// parseWhere splits "k=v,k2=v2" into a label filter map.
+func parseWhere(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("-where: %q is not label=value", pair)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// renderQuery is the query league table (a pure function of the query
+// and rows, so goldens can pin the bytes). Values print with exact
+// round-trip formatting — the table is as deterministic as the store.
+func renderQuery(q store.Query, rows []store.Row) string {
+	var b strings.Builder
+	dir := "ascending"
+	if q.Desc {
+		dir = "descending"
+	}
+	scope := q.Sweep
+	if scope == "" {
+		scope = "all sweeps"
+	}
+	fmt.Fprintf(&b, "== query %s: rank by %s (%s) ==\n", scope, q.Rank, dir)
+	if len(q.Where) > 0 {
+		keys := make([]string, 0, len(q.Where))
+		for k := range q.Where {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			keys[i] = k + "=" + q.Where[k]
+		}
+		fmt.Fprintf(&b, "where: %s\n", strings.Join(keys, ", "))
+	}
+	if q.GroupBy != "" {
+		fmt.Fprintf(&b, "group-by: %s (mean over group)\n", q.GroupBy)
+	}
+	if len(rows) == 0 {
+		b.WriteString("(no rows matched)\n")
+		return b.String()
+	}
+	keyHeader := "cell"
+	if q.GroupBy != "" {
+		keyHeader = q.GroupBy
+	}
+	keyWidth := len(keyHeader)
+	for _, r := range rows {
+		if len(r.Key) > keyWidth {
+			keyWidth = len(r.Key)
+		}
+	}
+	fmt.Fprintf(&b, "%4s  %-*s  %3s  %s\n", "rank", keyWidth, keyHeader, "n", q.Rank)
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%4d  %-*s  %3d  %s\n", i+1, keyWidth, r.Key, r.N, formatValue(r.Value))
+	}
+	return b.String()
+}
+
+// formatValue prints a metric value exactly (shortest round-trip form),
+// so two runs over the same store bytes render the same table bytes.
+func formatValue(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// cmdDiffSweep regression-diffs two ingested sweeps and exits non-zero
+// when the candidate regresses the base.
+func cmdDiffSweep(args []string) {
+	fs := flag.NewFlagSet("analyze diff-sweep", flag.ExitOnError)
+	storePath := fs.String("store", "campaigns.json", "campaign store file")
+	asJSON := fs.Bool("json", false, "emit the full diff as JSON instead of the table")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		log.Fatalf("usage: analyze diff-sweep -store campaigns.json base candidate (got %d args)", fs.NArg())
+	}
+	st, err := store.Open(*storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := st.CompareSweeps(fs.Arg(0), fs.Arg(1), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		printJSON(d)
+	} else {
+		fmt.Print(renderDiffSweep(d))
+	}
+	if d.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// renderDiffSweep is the diff-sweep report: one line per compared
+// metric per cell, regressions flagged, missing/added cells listed.
+func renderDiffSweep(d *store.SweepDiff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== diff-sweep: %s -> %s ==\n", d.Base, d.New)
+	for _, cd := range d.Cells {
+		for _, md := range cd.Metrics {
+			flag := "ok"
+			if md.Regression {
+				flag = "REGRESSION"
+			}
+			fmt.Fprintf(&b, "%-24s %-24s %12s -> %-12s delta %-12s %s\n",
+				cd.Cell, md.Metric, formatValue(md.Base), formatValue(md.New), formatValue(md.Delta), flag)
+		}
+	}
+	for _, name := range d.Missing {
+		fmt.Fprintf(&b, "%-24s MISSING from candidate sweep (counts as a regression)\n", name)
+	}
+	for _, name := range d.Added {
+		fmt.Fprintf(&b, "%-24s added in candidate sweep (not in base)\n", name)
+	}
+	fmt.Fprintf(&b, "== %d regressions ==\n", d.Regressions)
+	return b.String()
+}
+
+// printJSON emits v indented, the machine-readable twin of the tables.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func loadSnapshot(path string) *telemetry.Snapshot {

@@ -23,13 +23,14 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 func goldenSnapshots(t *testing.T) (warm, cold *telemetry.Snapshot) {
 	t.Helper()
 	build := func(coldStart bool) *telemetry.Snapshot {
-		sn, err := session.RunTelemetryOpts(workload.Scenario{
+		res, err := session.Execute(workload.Scenario{
 			Seed: 5, NumSessions: 500, NumPrefixes: 120,
 			ColdStart: coldStart, Parallelism: 1,
-		}, session.TelemetryOptions{SketchK: 64, Diagnose: &diagnose.Config{}})
+		}, session.Options{Telemetry: true, SketchK: 64, Diagnose: &diagnose.Config{}})
 		if err != nil {
 			t.Fatal(err)
 		}
+		sn := res.Snapshot
 		// The labels RunCell would attach, pinned so the table header is
 		// stable.
 		name := "cold=false"
@@ -79,12 +80,13 @@ func goldenTimelineSnapshot(t *testing.T) *telemetry.Snapshot {
 		EndMS:   20 * 60e3,
 		Effects: timeline.Effects{ThroughputFactor: 0.33, ExtraLossProb: 0.015, ExtraRTTms: 60},
 	}}}
-	sn, err := session.RunTelemetryOpts(sc, session.TelemetryOptions{
-		SketchK: 64, Diagnose: &diagnose.Config{},
+	res, err := session.Execute(sc, session.Options{
+		Telemetry: true, SketchK: 64, Diagnose: &diagnose.Config{},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sn := res.Snapshot
 	sn.Labels = map[string]string{"spec": "golden", "cell": "base", "diagnosis": "on", "timeline": "1-phase"}
 	return sn
 }

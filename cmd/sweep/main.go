@@ -18,9 +18,15 @@
 //	sweep -preset cache-policy-matrix [-sessions 1000]
 //	sweep -list
 //
-// With -out each cell writes its labelled snapshot to <dir>/<cell>.json,
-// ready for cmd/analyze -snapshot, -compare, -diagnose or (for specs
-// with a "timeline" block) -windows. -sessions/-parallel
+// With -out each cell writes its labelled snapshot to <dir>/<cell>.json
+// alongside a manifest.json recording the generating spec (name,
+// content hash, cell list, seeds) — the provenance record `analyze
+// ingest` uses to fold the whole directory into a campaign store. A
+// directory already claimed by a different spec's manifest is refused
+// rather than silently overwritten. The snapshots are also directly
+// readable by `analyze snapshot`, `analyze compare`, `analyze
+// diagnose`, and (for specs with a "timeline" block) `analyze
+// windows`. -sessions/-parallel
 // override every cell (the old sweep's laptop-scale knobs); -full-deltas
 // appends the complete per-metric delta table for every non-baseline
 // cell instead of the compact summary columns. -cpuprofile/-memprofile
@@ -141,7 +147,8 @@ func main() {
 		}
 	}
 	if *outDir != "" {
-		log.Info("wrote snapshots", slog.Int("cells", len(res.Cells)), slog.String("dir", *outDir))
+		log.Info("wrote snapshots", slog.Int("cells", len(res.Cells)), slog.String("dir", *outDir),
+			slog.String("manifest", experiment.ManifestFileName))
 	}
 }
 
@@ -195,7 +202,7 @@ func printSummary(res *experiment.CampaignResult) {
 			dHit, marker)
 	}
 	fmt.Println("(* baseline; Δ columns are candidate − baseline. analysis quantiles:",
-		quantileList(), "— run with -full-deltas or analyze -compare for the full tables)")
+		quantileList(), "— run with -full-deltas or analyze compare for the full tables)")
 }
 
 func hitRatio(sn *telemetry.Snapshot) float64 {

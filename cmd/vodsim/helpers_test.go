@@ -66,10 +66,11 @@ func testScenarioSmall(seed uint64) workload.Scenario {
 }
 
 func TestWriteTrace(t *testing.T) {
-	ds, err := session.Run(testScenarioSmall(4))
+	res, err := session.Execute(testScenarioSmall(4), session.Options{})
 	if err != nil {
-		t.Fatalf("Run: %v", err)
+		t.Fatalf("Execute: %v", err)
 	}
+	ds := res.Dataset
 	path := filepath.Join(t.TempDir(), "trace.jsonl")
 	if err := writeTrace(path, ds); err != nil {
 		t.Fatalf("writeTrace: %v", err)

@@ -25,7 +25,7 @@
 // instead: finished sessions fold into mergeable sketches, histograms and
 // counters as each shard produces them, no record is ever materialized,
 // and -out receives a JSON telemetry snapshot (input to
-// cmd/analyze -snapshot) rather than a JSONL trace. Peak memory is
+// `analyze snapshot`) rather than a JSONL trace. Peak memory is
 // O(sketch), independent of the record volume, so -stream is the mode for
 // 10M+-session campaigns. -stream cannot be combined with the CSV exports
 // or -filter-proxies, which need the full joined dataset.
@@ -34,7 +34,7 @@
 // is additionally classified by internal/diagnose — which layer (server
 // cache/backend, network throughput/loss, client download stack, ABR)
 // dominated its problems — and the snapshot carries one session counter
-// and three QoE sketches per label. cmd/analyze -diagnose renders the
+// and three QoE sketches per label. `analyze diagnose` renders the
 // cause-share table from them.
 //
 // With -spec the scenario comes from a declarative experiment spec
@@ -53,7 +53,7 @@
 // A spec with a "timeline" block (see docs/SPECS.md) injects timed
 // faults and degradations — PoP outages, backend brownouts, cache
 // shrinks, path degradation, flash crowds — and the snapshot gains
-// per-window telemetry: cmd/analyze -windows renders QoE
+// per-window telemetry: `analyze windows` renders QoE
 // before/during/after each phase. Timelines change nothing about the
 // determinism contract.
 //
@@ -154,10 +154,11 @@ func main() {
 		return
 	}
 
-	ds, err := session.Run(sc)
+	res, err := session.Execute(sc, session.Options{})
 	if err != nil {
 		fatal(log, "run failed", slog.Any("err", err))
 	}
+	ds := res.Dataset
 	log.Info("generated dataset", slog.String("dataset", ds.String()))
 
 	if *filterProxy {
@@ -311,15 +312,15 @@ func runSpec(log *slog.Logger, path string, set map[string]bool, sessions, prefi
 // runStreaming executes the campaign through per-shard telemetry
 // accumulators and writes the merged snapshot.
 func runStreaming(log *slog.Logger, sc workload.Scenario, sketchK int, diag bool, out string) {
-	opt := session.TelemetryOptions{SketchK: sketchK}
+	opt := session.Options{Telemetry: true, SketchK: sketchK}
 	if diag {
 		opt.Diagnose = &diagnose.Config{}
 	}
-	sn, err := session.RunTelemetryOpts(sc, opt)
+	res, err := session.Execute(sc, opt)
 	if err != nil {
 		fatal(log, "streaming run failed", slog.Any("err", err))
 	}
-	writeSnapshotFile(log, out, sn)
+	writeSnapshotFile(log, out, res.Snapshot)
 }
 
 // writeSnapshotFile logs the snapshot's totals and writes it to out.

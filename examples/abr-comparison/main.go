@@ -34,10 +34,11 @@ func main() {
 			Catalog:     catalog.Config{NumVideos: 1500},
 			ABRName:     name,
 		}
-		ds, err := session.Run(sc)
+		res, err := session.Execute(sc, session.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
+		ds := res.Dataset
 		fmt.Printf("%-24s %10.0f %11.2f%% %12.0f %9.2f%%\n",
 			name, meanBitrate(ds), 100*meanRebuf(ds), medianStartup(ds), 100*meanDrops(ds))
 	}

@@ -27,10 +27,11 @@ func main() {
 
 	// 2. Run the end-to-end simulation: every chunk is instrumented at
 	//    the player, the CDN application layer, and the server TCP stack.
-	raw, err := session.Run(sc)
+	res, err := session.Execute(sc, session.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	raw := res.Dataset
 	fmt.Printf("simulated %v\n", raw)
 
 	// 3. Preprocess exactly like the paper's §3: drop proxy sessions.

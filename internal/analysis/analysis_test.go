@@ -21,16 +21,17 @@ var (
 // tests (large enough for stable shapes, small enough for fast tests).
 func mainDataset() *core.Dataset {
 	dsOnce.Do(func() {
-		raw, err := session.Run(workload.Scenario{
+		res, err := session.Execute(workload.Scenario{
 			Seed:              2016,
 			NumSessions:       6000,
 			NumPrefixes:       900,
 			MeanWatchedChunks: 12,
 			Catalog:           catalog.Config{NumVideos: 3000},
-		})
+		}, session.Options{})
 		if err != nil {
 			panic(err)
 		}
+		raw := res.Dataset
 		dsMain = core.FilterProxies(raw, core.ProxyFilterConfig{}).Kept
 	})
 	return dsMain

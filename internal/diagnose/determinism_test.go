@@ -20,12 +20,13 @@ func TestDiagnosisByteIdenticalAcrossParallelism(t *testing.T) {
 		sc := workload.Scenario{
 			Seed: 7, NumSessions: 800, NumPrefixes: 200, Parallelism: parallel,
 		}
-		sn, err := session.RunTelemetryOpts(sc, session.TelemetryOptions{
-			SketchK: 64, Diagnose: &diagnose.Config{},
+		res, err := session.Execute(sc, session.Options{
+			Telemetry: true, SketchK: 64, Diagnose: &diagnose.Config{},
 		})
 		if err != nil {
 			t.Fatalf("parallel=%d: %v", parallel, err)
 		}
+		sn := res.Snapshot
 		var buf bytes.Buffer
 		if err := telemetry.WriteSnapshot(&buf, sn); err != nil {
 			t.Fatalf("parallel=%d: write: %v", parallel, err)

@@ -5,7 +5,7 @@
 // expander that crosses axes (abr × ram_gb × zipf_s × …) into experiment
 // cells with deterministic per-cell seeds, and a campaign runner that
 // executes cells through the streaming-telemetry pipeline
-// (session.RunTelemetry) with bounded parallelism — one named snapshot
+// (session.Execute in telemetry mode) with bounded parallelism — one named snapshot
 // per cell plus an A/B delta against a declared baseline cell.
 //
 // The paper's value is comparative (§4–§6 contrast cache levels, org
@@ -32,7 +32,7 @@
 // Determinism: a cell's snapshot depends only on its scenario (seed
 // included) and sketch parameter — never on how many cells ran
 // concurrently or in what order — because each cell is an independent
-// session.RunTelemetry run and those are byte-identical at any
+// session.Execute telemetry run and those are byte-identical at any
 // parallelism. Per-cell seeds derive from (base seed, cell name) via a
 // splitmix64 finalizer, so regenerating a campaign reproduces it bit for
 // bit.

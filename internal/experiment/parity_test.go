@@ -83,7 +83,7 @@ func TestZipfSpecFileMatchesPreset(t *testing.T) {
 
 // TestZipfSpecRunParity runs one zipf cell through the campaign runner
 // (at reduced scale) and byte-compares its snapshot against a direct
-// session.RunTelemetry of the old hardcoded scenario — the spec-driven
+// telemetry-mode session.Execute of the old hardcoded scenario — the spec-driven
 // pipeline must add labels and nothing else.
 func TestZipfSpecRunParity(t *testing.T) {
 	if testing.Short() {
@@ -103,10 +103,11 @@ func TestZipfSpecRunParity(t *testing.T) {
 	for i, alpha := range oldZipfAlphas {
 		old := oldZipfScenario(alpha)
 		old.NumSessions, old.NumPrefixes, old.Catalog.NumVideos = 400, 120, 500
-		want, err := session.RunTelemetry(old, sp.EffectiveSketchK())
+		wantRes, err := session.Execute(old, session.Options{Telemetry: true, SketchK: sp.EffectiveSketchK()})
 		if err != nil {
 			t.Fatal(err)
 		}
+		want := wantRes.Snapshot
 		got := res.Cells[i].Snapshot
 		if got.Label("cell") != res.Cells[i].Cell.Name || got.Label("spec") != "zipf-sweep" {
 			t.Errorf("cell %d labels = %v", i, got.Labels)

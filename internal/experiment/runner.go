@@ -16,7 +16,7 @@ import (
 type RunOptions struct {
 	// Workers caps how many cells simulate concurrently (<= 0 runs the
 	// cells sequentially). Each cell additionally shards by PoP inside
-	// session.RunTelemetry per its Scenario.Parallelism, so the total
+	// session.Execute per its Scenario.Parallelism, so the total
 	// concurrency is Workers × per-cell shards; campaign drivers that
 	// fan out across cells usually pin Scenario.Parallelism to 1.
 	Workers int
@@ -61,6 +61,12 @@ func (r *CampaignResult) Baseline() *CellResult {
 // of scheduling, so the campaign's outputs are byte-stable across
 // Workers settings and runs. The first cell error aborts scheduling of
 // unstarted cells and is returned after in-flight cells drain.
+//
+// With OutDir set, the directory additionally receives a manifest.json
+// recording the generating spec (name, content hash, cell list, seeds)
+// before any cell runs — the record internal/store ingests a sweep by.
+// A directory already claimed by a different spec's manifest is refused
+// rather than silently overwritten.
 func RunCampaign(spec *Spec, opt RunOptions) (*CampaignResult, error) {
 	cells, err := spec.Expand()
 	if err != nil {
@@ -69,6 +75,9 @@ func RunCampaign(spec *Spec, opt RunOptions) (*CampaignResult, error) {
 	if opt.OutDir != "" {
 		if err := os.MkdirAll(opt.OutDir, 0o755); err != nil {
 			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		if err := claimOutDir(opt.OutDir, BuildManifest(spec, cells)); err != nil {
+			return nil, err
 		}
 	}
 	workers := opt.Workers
@@ -127,14 +136,15 @@ feed:
 // RunCell executes one cell and, when outDir is non-empty, writes its
 // labelled snapshot to outDir/Cell.FileName().
 func RunCell(spec *Spec, cell Cell, outDir string) (CellResult, error) {
-	opt := session.TelemetryOptions{SketchK: spec.EffectiveSketchK()}
+	opt := session.Options{Telemetry: true, SketchK: spec.EffectiveSketchK()}
 	if spec.Diagnosis {
 		opt.Diagnose = &diagnose.Config{}
 	}
-	sn, err := session.RunTelemetryOpts(cell.Scenario, opt)
+	run, err := session.Execute(cell.Scenario, opt)
 	if err != nil {
 		return CellResult{Cell: cell}, err
 	}
+	sn := run.Snapshot
 	sn.Labels = map[string]string{
 		"spec": spec.Name,
 		"cell": cell.Name,

@@ -21,16 +21,17 @@ const figMaxRank = 3000
 
 func figDataset() *core.Dataset {
 	figOnce.Do(func() {
-		raw, err := session.Run(workload.Scenario{
+		res, err := session.Execute(workload.Scenario{
 			Seed:              2016,
 			NumSessions:       6000,
 			NumPrefixes:       900,
 			MeanWatchedChunks: 12,
 			Catalog:           catalog.Config{NumVideos: figMaxRank},
-		})
+		}, session.Options{})
 		if err != nil {
 			panic(err)
 		}
+		raw := res.Dataset
 		figDS = core.FilterProxies(raw, core.ProxyFilterConfig{}).Kept
 	})
 	return figDS

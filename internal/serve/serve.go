@@ -266,19 +266,20 @@ func (e *Engine) runWindow(idx int) (*telemetry.Snapshot, timeline.Window, error
 		StartMS: sc.ArrivalOffsetMS,
 		EndMS:   sc.ArrivalOffsetMS + e.cfg.WindowMS,
 	}
-	opt := session.TelemetryOptions{
-		SketchK:  e.cfg.SketchK,
-		Windows:  []timeline.Window{w},
-		Progress: &e.live,
+	opt := session.Options{
+		Telemetry: true,
+		SketchK:   e.cfg.SketchK,
+		Windows:   []timeline.Window{w},
+		Progress:  &e.live,
 	}
 	if e.cfg.Diagnose {
 		opt.Diagnose = &diagnose.Config{}
 	}
-	sn, err := session.RunTelemetryOpts(sc, opt)
+	res, err := session.Execute(sc, opt)
 	if err != nil {
 		return nil, w, fmt.Errorf("serve: window %d: %w", idx, err)
 	}
-	return sn, w, nil
+	return res.Snapshot, w, nil
 }
 
 // publish folds one closed window into the published state: the stamped

@@ -73,10 +73,11 @@ func TestOneWindowMatchesBatchRun(t *testing.T) {
 	sc := testScenario(11, 1)
 	sc.NumSessions = cfg.SessionsPerWindow
 	sc.ArrivalWindowMS = cfg.WindowMS
-	sn, err := session.RunTelemetry(sc, cfg.SketchK)
+	res, err := session.Execute(sc, session.Options{Telemetry: true, SketchK: cfg.SketchK})
 	if err != nil {
-		t.Fatalf("RunTelemetry: %v", err)
+		t.Fatalf("Execute: %v", err)
 	}
+	sn := res.Snapshot
 	var batch bytes.Buffer
 	if err := telemetry.WriteSnapshot(&batch, sn); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)

@@ -14,15 +14,16 @@ func TestProgressPublishedDuringRun(t *testing.T) {
 	sc := smallScenario(3)
 	sc.Parallelism = 2
 	var prog Progress
-	// Pre-poison the counters: RunTelemetryOpts must Reset before
+	// Pre-poison the counters: Execute must Reset before
 	// publishing, or a reused Progress double-counts across windows.
 	prog.Sessions.Store(99)
 	prog.ShardsTotal.Store(99)
 
-	sn, err := RunTelemetryOpts(sc, TelemetryOptions{SketchK: 64, Progress: &prog})
+	res, err := Execute(sc, Options{Telemetry: true, SketchK: 64, Progress: &prog})
 	if err != nil {
-		t.Fatalf("RunTelemetryOpts: %v", err)
+		t.Fatalf("Execute: %v", err)
 	}
+	sn := res.Snapshot
 
 	if got, want := prog.Sessions.Load(), sn.Counter(telemetry.CounterSessions); got != want {
 		t.Fatalf("Progress.Sessions = %d, snapshot says %d", got, want)

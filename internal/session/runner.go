@@ -58,16 +58,6 @@ func NewABR(name string) (abr.Algorithm, error) {
 	return nil, fmt.Errorf("session: unknown ABR algorithm %q", name)
 }
 
-// Run executes the scenario and returns the full (pre-filtering) dataset.
-// The ABR name is validated before the population is built so flag typos
-// fail fast instead of after seconds of world generation.
-func Run(sc workload.Scenario) (*core.Dataset, error) {
-	if _, err := NewABR(sc.ABRName); err != nil {
-		return nil, err
-	}
-	return RunOnPopulation(workload.Build(sc))
-}
-
 // SinkFactory builds the core.RecordSink for one shard. The runner calls
 // it once per non-empty shard — several times per PoP, since shards are
 // per server slot — during the sequential plan phase in ascending
@@ -77,40 +67,11 @@ func Run(sc workload.Scenario) (*core.Dataset, error) {
 // only.
 type SinkFactory func(popID int) core.RecordSink
 
-// RunWithSinks executes the scenario in streaming mode: finished sessions
-// flow into per-shard sinks from factory instead of a materialized
-// Dataset. With an O(1)-memory sink (internal/telemetry's Accumulator)
-// this is the path that characterizes campaigns far larger than RAM.
-func RunWithSinks(sc workload.Scenario, factory SinkFactory) error {
-	if _, err := NewABR(sc.ABRName); err != nil {
-		return err
-	}
-	return RunOnPopulationWithSinks(workload.Build(sc), factory)
-}
-
-// RunOnPopulation executes sessions against an already-built population
-// (so benches can reuse one population across variants). It proceeds in
-// three phases: plan (partition sessions by server), execute (one engine
-// per shard, Scenario.Parallelism shards at a time), merge (canonical
-// order).
-func RunOnPopulation(pop *workload.Population) (*core.Dataset, error) {
-	var col core.SpanCollector
-	err := RunOnPopulationWithSinks(pop, func(int) core.RecordSink {
-		return col.NewSink()
-	})
-	if err != nil {
-		return nil, err
-	}
-	return col.Dataset(), nil
-}
-
-// RunOnPopulationWithSinks is RunWithSinks against an already-built
-// population.
-func RunOnPopulationWithSinks(pop *workload.Population, factory SinkFactory) error {
-	return runOnPopulationWithSinks(pop, factory, nil)
-}
-
-// runOnPopulationWithSinks is the shared core: when prog is non-nil,
+// runOnPopulationWithSinks is the execution core every Execute mode
+// shares: it runs an already-built population into per-shard sinks in
+// three phases — plan (partition sessions by server), execute (one
+// engine per shard, Scenario.Parallelism shards at a time), merge
+// (canonical order). When prog is non-nil,
 // every shard sink is wrapped to tick its counters and shard completion
 // is published as shards drain. The wrapping changes no record content
 // or ordering, so the byte-identity guarantees are untouched.

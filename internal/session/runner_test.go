@@ -24,11 +24,11 @@ func smallScenario(seed uint64) workload.Scenario {
 
 func mustRun(t *testing.T, sc workload.Scenario) *core.Dataset {
 	t.Helper()
-	ds, err := Run(sc)
+	res, err := Execute(sc, Options{})
 	if err != nil {
-		t.Fatalf("Run: %v", err)
+		t.Fatalf("Execute: %v", err)
 	}
-	return ds
+	return res.Dataset
 }
 
 func TestRunProducesConsistentDataset(t *testing.T) {
@@ -129,7 +129,7 @@ func TestRunShardsCoverEverySession(t *testing.T) {
 func TestRunUnknownABRReturnsError(t *testing.T) {
 	sc := smallScenario(1)
 	sc.ABRName = "definitely-not-an-abr"
-	if _, err := Run(sc); err == nil {
+	if _, err := Execute(sc, Options{}); err == nil {
 		t.Fatal("Run accepted an unknown ABR name")
 	}
 }
@@ -316,20 +316,20 @@ func tcpParams() tcpmodel.Params {
 	}
 }
 
-// TestRunWithSinksMatchesRun pins the sink seam: streaming the campaign
-// into per-shard Dataset sinks and merging must reproduce the collect
-// path exactly.
-func TestRunWithSinksMatchesRun(t *testing.T) {
+// TestExecuteSinksMatchesDataset pins the sink seam: streaming the
+// campaign into per-shard Dataset sinks and merging must reproduce the
+// materialized dataset mode exactly.
+func TestExecuteSinksMatchesDataset(t *testing.T) {
 	want := mustRun(t, smallScenario(29))
 
 	var col core.Collector
-	err := RunWithSinks(smallScenario(29), func(popID int) core.RecordSink {
+	_, err := Execute(smallScenario(29), Options{Sinks: func(popID int) core.RecordSink {
 		ds := &core.Dataset{}
 		col.Add(ds)
 		return ds
-	})
+	}})
 	if err != nil {
-		t.Fatalf("RunWithSinks: %v", err)
+		t.Fatalf("Execute(Sinks): %v", err)
 	}
 	got := col.Merge()
 	if len(got.Sessions) != len(want.Sessions) || len(got.Chunks) != len(want.Chunks) {
@@ -351,12 +351,26 @@ func TestRunWithSinksMatchesRun(t *testing.T) {
 	}
 }
 
-// TestRunWithSinksRejectsUnknownABR mirrors Run's fail-fast validation.
-func TestRunWithSinksRejectsUnknownABR(t *testing.T) {
+// TestExecuteRejectsUnknownABR pins the fail-fast validation: the ABR
+// name is checked before any world generation, in every mode.
+func TestExecuteRejectsUnknownABR(t *testing.T) {
 	sc := smallScenario(1)
 	sc.ABRName = "definitely-not-an-abr"
-	err := RunWithSinks(sc, func(int) core.RecordSink { return &core.Dataset{} })
+	_, err := Execute(sc, Options{Sinks: func(int) core.RecordSink { return &core.Dataset{} }})
 	if err == nil {
-		t.Fatal("RunWithSinks accepted an unknown ABR name")
+		t.Fatal("Execute accepted an unknown ABR name")
+	}
+}
+
+// TestExecuteRejectsContradictoryOptions: option combinations that
+// contradict the selected mode fail fast instead of silently ignoring
+// knobs.
+func TestExecuteRejectsContradictoryOptions(t *testing.T) {
+	sinks := func(int) core.RecordSink { return &core.Dataset{} }
+	if _, err := Execute(smallScenario(1), Options{Telemetry: true, Sinks: sinks}); err == nil {
+		t.Fatal("Execute accepted Telemetry+Sinks")
+	}
+	if _, err := Execute(smallScenario(1), Options{SketchK: 64}); err == nil {
+		t.Fatal("Execute accepted SketchK without Telemetry")
 	}
 }

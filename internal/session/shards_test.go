@@ -42,10 +42,11 @@ func TestSubPoPShardingByteIdentical(t *testing.T) {
 	}
 
 	snap := func(par int) []byte {
-		sn, err := RunTelemetry(singlePoPScenario(37, par), 64)
+		res, err := Execute(singlePoPScenario(37, par), Options{Telemetry: true, SketchK: 64})
 		if err != nil {
-			t.Fatalf("RunTelemetry(par=%d): %v", par, err)
+			t.Fatalf("Execute(par=%d): %v", par, err)
 		}
+		sn := res.Snapshot
 		var buf bytes.Buffer
 		if err := telemetry.WriteSnapshot(&buf, sn); err != nil {
 			t.Fatalf("WriteSnapshot(par=%d): %v", par, err)
@@ -110,8 +111,8 @@ func TestRecycledChunkBuffersSafe(t *testing.T) {
 		kept: map[uint64][]core.ChunkRecord{},
 		raw:  map[uint64][]core.ChunkRecord{},
 	}
-	if err := RunWithSinks(sc, func(int) core.RecordSink { return sink }); err != nil {
-		t.Fatalf("RunWithSinks: %v", err)
+	if _, err := Execute(sc, Options{Sinks: func(int) core.RecordSink { return sink }}); err != nil {
+		t.Fatalf("Execute(Sinks): %v", err)
 	}
 
 	byS := ref.ChunksBySession()

@@ -69,10 +69,11 @@ func TestTimelineParallelismByteIdentical(t *testing.T) {
 	snap := func(par int) []byte {
 		sc := timelineScenario(31)
 		sc.Parallelism = par
-		sn, err := RunTelemetry(sc, 64)
+		res, err := Execute(sc, Options{Telemetry: true, SketchK: 64})
 		if err != nil {
-			t.Fatalf("RunTelemetry(par=%d): %v", par, err)
+			t.Fatalf("Execute(par=%d): %v", par, err)
 		}
+		sn := res.Snapshot
 		var buf bytes.Buffer
 		if err := telemetry.WriteSnapshot(&buf, sn); err != nil {
 			t.Fatalf("WriteSnapshot(par=%d): %v", par, err)
@@ -153,10 +154,11 @@ func TestTimelineFlashCrowdConcentratesArrivals(t *testing.T) {
 // snapshot must cover every session.
 func TestTimelineDegradesQoEInWindow(t *testing.T) {
 	sc := timelineScenario(13)
-	sn, err := RunTelemetry(sc, 64)
+	res, err := Execute(sc, Options{Telemetry: true, SketchK: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sn := res.Snapshot
 	if len(sn.Windows) != 7 { // pre, crowd, gap, outage, gap, degrade, post
 		t.Fatalf("snapshot windows = %d, want 7 (%v)", len(sn.Windows), sn.Windows)
 	}
@@ -190,10 +192,11 @@ func TestTimelineCacheShrinkRaisesMisses(t *testing.T) {
 	run := func(cacheFactor float64) float64 {
 		sc := timelineScenario(17)
 		sc.Timeline.Phases[1].Effects.CacheCapacityFactor = cacheFactor
-		sn, err := RunTelemetry(sc, 64)
+		res, err := Execute(sc, Options{Telemetry: true, SketchK: 64})
 		if err != nil {
 			t.Fatal(err)
 		}
+		sn := res.Snapshot
 		return float64(sn.Counter(telemetry.CounterChunksHit)) /
 			float64(sn.Counter(telemetry.CounterChunks))
 	}
@@ -212,7 +215,7 @@ func TestTimelineValidationSurfacesInRun(t *testing.T) {
 		{Name: "a", StartMS: 0, EndMS: 10e3},
 		{Name: "b", StartMS: 5e3, EndMS: 15e3},
 	}}
-	if _, err := Run(sc); err == nil {
+	if _, err := Execute(sc, Options{}); err == nil {
 		t.Fatal("Run accepted an overlapping timeline")
 	}
 	sc = smallScenario(1)
@@ -220,7 +223,7 @@ func TestTimelineValidationSurfacesInRun(t *testing.T) {
 		{Name: "a", StartMS: 0, EndMS: 10e3,
 			Effects: timeline.Effects{PoPDown: []int{99}}},
 	}}
-	if _, err := Run(sc); err == nil {
+	if _, err := Execute(sc, Options{}); err == nil {
 		t.Fatal("Run accepted an out-of-fleet PoP outage")
 	}
 }

@@ -1,0 +1,152 @@
+// compare.go regression-diffs two sweeps cell-by-cell: the same cell
+// name in the base and candidate sweeps is compared metric-by-metric
+// against per-metric thresholds, and a cell present in the base but
+// missing from the candidate is itself a regression. A sweep diffed
+// against itself always reports zero regressions.
+package store
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Threshold is the allowed worsening for one metric. A delta in the
+// worse direction is a regression only when it exceeds the allowance —
+// landing exactly on the edge passes.
+type Threshold struct {
+	// Metric names the extracted metric to compare.
+	Metric string `json:"metric"`
+	// LowerIsWorse flips the worse direction: by default a higher
+	// candidate value is worse (latency, rebuffer, retry share); set for
+	// metrics where shrinking is the failure (hit ratio).
+	LowerIsWorse bool `json:"lower_is_worse,omitempty"`
+	// MaxAbs is the allowed absolute worsening.
+	MaxAbs float64 `json:"max_abs"`
+	// MaxRel is the allowed worsening as a fraction of the base value's
+	// magnitude; the effective allowance is max(MaxAbs, MaxRel·|base|).
+	MaxRel float64 `json:"max_rel"`
+}
+
+// allowance is the largest worsening the threshold tolerates for one
+// base value.
+func (t Threshold) allowance(base float64) float64 {
+	return math.Max(t.MaxAbs, t.MaxRel*math.Abs(base))
+}
+
+// DefaultThresholds guards the paper's headline QoE metrics: tail
+// startup delay and rebuffering, cache hit ratio, and the timer-retry
+// share, each with a small absolute floor so noise near zero does not
+// trip the relative bound.
+func DefaultThresholds() []Threshold {
+	return []Threshold{
+		{Metric: QuantileMetric("startup_ms", 0.95), MaxAbs: 5, MaxRel: 0.05},
+		{Metric: QuantileMetric("rebuffer_rate", 0.95), MaxAbs: 0.005, MaxRel: 0.05},
+		{Metric: MetricHitRatio, LowerIsWorse: true, MaxAbs: 0.01, MaxRel: 0.02},
+		{Metric: MetricRetryShare, MaxAbs: 0.005, MaxRel: 0.05},
+	}
+}
+
+// MetricDiff is one metric's comparison inside one cell.
+type MetricDiff struct {
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	New    float64 `json:"new"`
+	// Delta is New - Base, regardless of direction.
+	Delta float64 `json:"delta"`
+	// Regression marks a worsening beyond the metric's allowance.
+	Regression bool `json:"regression"`
+}
+
+// CellDiff is one cell's comparison across all thresholded metrics.
+type CellDiff struct {
+	Cell    string       `json:"cell"`
+	Metrics []MetricDiff `json:"metrics"`
+	// Regressions counts this cell's regressed metrics.
+	Regressions int `json:"regressions"`
+}
+
+// SweepDiff is the full comparison of two sweeps.
+type SweepDiff struct {
+	Base string `json:"base"`
+	New  string `json:"new"`
+	// Cells holds the per-cell diffs for cells present in both sweeps,
+	// in cell-name order.
+	Cells []CellDiff `json:"cells"`
+	// Missing lists base cells absent from the candidate sweep (each one
+	// counts as a regression); Added lists candidate cells the base
+	// lacks (informational).
+	Missing []string `json:"missing,omitempty"`
+	Added   []string `json:"added,omitempty"`
+	// Regressions totals regressed metrics across cells plus missing
+	// cells. Zero means the candidate is no worse than the base
+	// everywhere.
+	Regressions int `json:"regressions"`
+}
+
+// CompareSweeps diffs the candidate sweep against the base sweep
+// cell-by-cell under the given thresholds (nil selects
+// DefaultThresholds). A threshold whose metric a cell pair lacks is
+// skipped for that pair — sweeps run without diagnosis simply have no
+// diag metrics to regress.
+func (s *Store) CompareSweeps(base, candidate string, thresholds []Threshold) (*SweepDiff, error) {
+	for _, name := range []string{base, candidate} {
+		if _, ok := s.sweeps[name]; !ok {
+			return nil, fmt.Errorf("store: unknown sweep %q (have %v)", name, s.Sweeps())
+		}
+	}
+	if thresholds == nil {
+		thresholds = DefaultThresholds()
+	}
+	baseCells := make(map[string]Entry)
+	for _, e := range s.Entries(base) {
+		baseCells[e.Cell] = e
+	}
+	newCells := make(map[string]Entry)
+	for _, e := range s.Entries(candidate) {
+		newCells[e.Cell] = e
+	}
+
+	d := &SweepDiff{Base: base, New: candidate}
+	names := make([]string, 0, len(baseCells))
+	for name := range baseCells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		be := baseCells[name]
+		ne, ok := newCells[name]
+		if !ok {
+			d.Missing = append(d.Missing, name)
+			d.Regressions++
+			continue
+		}
+		cd := CellDiff{Cell: name}
+		for _, t := range thresholds {
+			bv, bok := be.Metrics[t.Metric]
+			nv, nok := ne.Metrics[t.Metric]
+			if !bok || !nok {
+				continue
+			}
+			md := MetricDiff{Metric: t.Metric, Base: bv, New: nv, Delta: nv - bv}
+			worsening := md.Delta
+			if t.LowerIsWorse {
+				worsening = -md.Delta
+			}
+			if worsening > t.allowance(bv) {
+				md.Regression = true
+				cd.Regressions++
+			}
+			cd.Metrics = append(cd.Metrics, md)
+		}
+		d.Regressions += cd.Regressions
+		d.Cells = append(d.Cells, cd)
+	}
+	for name := range newCells {
+		if _, ok := baseCells[name]; !ok {
+			d.Added = append(d.Added, name)
+		}
+	}
+	sort.Strings(d.Added)
+	return d, nil
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// compareStore builds base and candidate sweeps with one shared cell
+// whose metrics the tests steer directly through counters.
+// Chunk counts are powers of two so the hit ratios (and their deltas)
+// are exact in float64 and the threshold-edge cases are sharp.
+func compareStore(t *testing.T, baseHit, newHit uint64) *Store {
+	t.Helper()
+	s := New()
+	if err := s.Add("base", "cell", snap(nil, map[string]uint64{"sessions": 100, "chunks": 1024, "chunks_hit": baseHit}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("new", "cell", snap(nil, map[string]uint64{"sessions": 100, "chunks": 1024, "chunks_hit": newHit}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func hitDiff(t *testing.T, d *SweepDiff) MetricDiff {
+	t.Helper()
+	for _, cd := range d.Cells {
+		for _, md := range cd.Metrics {
+			if md.Metric == MetricHitRatio {
+				return md
+			}
+		}
+	}
+	t.Fatal("diff carries no hit_ratio metric")
+	return MetricDiff{}
+}
+
+// TestCompareSelfIsClean: a sweep diffed against itself reports zero
+// regressions under the default thresholds.
+func TestCompareSelfIsClean(t *testing.T) {
+	dir, _ := sweepDir(t, 60)
+	s := New()
+	if _, err := s.IngestDir("sw", dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.CompareSweeps("sw", "sw", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("self-diff reports %d regressions: %+v", d.Regressions, d)
+	}
+	if len(d.Cells) == 0 || len(d.Missing) != 0 || len(d.Added) != 0 {
+		t.Fatalf("self-diff shape wrong: %+v", d)
+	}
+}
+
+// TestCompareThresholdEdges: a worsening exactly on the allowance
+// passes; one beyond it regresses.
+func TestCompareThresholdEdges(t *testing.T) {
+	th := []Threshold{{Metric: MetricHitRatio, LowerIsWorse: true, MaxAbs: 0.25}}
+
+	// Base 768/1024 = 0.75; candidate 512/1024 = 0.5: worsening exactly
+	// 0.25 — on the edge, allowed.
+	d, err := compareStore(t, 768, 512).CompareSweeps("base", "new", th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := hitDiff(t, d); md.Regression || d.Regressions != 0 {
+		t.Fatalf("edge-equal worsening flagged as regression: %+v", md)
+	}
+
+	// Candidate 511/1024: worsening just past 0.25 — regression.
+	d, err = compareStore(t, 768, 511).CompareSweeps("base", "new", th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := hitDiff(t, d); !md.Regression || d.Regressions != 1 {
+		t.Fatalf("worsening past the allowance not flagged: %+v", md)
+	}
+
+	// Improvement in the worse-is-lower metric is never a regression,
+	// however large.
+	d, err = compareStore(t, 512, 1024).CompareSweeps("base", "new", th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := hitDiff(t, d); md.Regression || d.Regressions != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", md)
+	}
+}
+
+// TestCompareRelativeAllowance: MaxRel scales the allowance with the
+// base value when it exceeds MaxAbs.
+func TestCompareRelativeAllowance(t *testing.T) {
+	th := []Threshold{{Metric: "sessions", MaxAbs: 1, MaxRel: 0.10}}
+	s := New()
+	base := snap(nil, map[string]uint64{"sessions": 100, "chunks": 10}, nil)
+	within := snap(nil, map[string]uint64{"sessions": 110, "chunks": 10}, nil)
+	beyond := snap(nil, map[string]uint64{"sessions": 111, "chunks": 10}, nil)
+	if err := s.Add("base", "c", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("within", "c", within); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("beyond", "c", beyond); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.CompareSweeps("base", "within", th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("+10%% on a 10%% relative allowance regressed: %+v", d)
+	}
+	d, err = s.CompareSweeps("base", "beyond", th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("+11%% on a 10%% relative allowance passed: %+v", d)
+	}
+}
+
+// TestCompareMissingAndAddedCells: a base cell absent from the
+// candidate is a regression; an extra candidate cell is informational.
+func TestCompareMissingAndAddedCells(t *testing.T) {
+	s := New()
+	counters := map[string]uint64{"sessions": 10, "chunks": 100, "chunks_hit": 50}
+	for _, cell := range []string{"a", "b"} {
+		if err := s.Add("base", cell, snap(nil, counters, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cell := range []string{"a", "c"} {
+		if err := s.Add("new", cell, snap(nil, counters, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := s.CompareSweeps("base", "new", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Missing) != 1 || d.Missing[0] != "b" || d.Regressions != 1 {
+		t.Fatalf("missing cell not counted as a regression: %+v", d)
+	}
+	if len(d.Added) != 1 || d.Added[0] != "c" {
+		t.Fatalf("added cell not reported: %+v", d)
+	}
+}
+
+// TestCompareUnknownSweep: both sweep names must exist.
+func TestCompareUnknownSweep(t *testing.T) {
+	s := compareStore(t, 500, 500)
+	if _, err := s.CompareSweeps("base", "ghost", nil); err == nil || !strings.Contains(err.Error(), "unknown sweep") {
+		t.Fatalf("diff against an unknown sweep: %v", err)
+	}
+}

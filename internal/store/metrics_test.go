@@ -1,0 +1,68 @@
+package store
+
+import (
+	"testing"
+
+	"vidperf/internal/telemetry"
+)
+
+// TestRegistryRegisterReplaces: registering under an existing name
+// replaces the extractor in place, keeping registration order.
+func TestRegistryRegisterReplaces(t *testing.T) {
+	r := &Registry{}
+	r.Register("a", func(sn *telemetry.Snapshot, out map[string]float64) { out["a"] = 1 })
+	r.Register("b", func(sn *telemetry.Snapshot, out map[string]float64) { out["b"] = 2 })
+	r.Register("a", func(sn *telemetry.Snapshot, out map[string]float64) { out["a"] = 3 })
+
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v, want [a b]", names)
+	}
+	got := r.Extract(snap(nil, nil, nil))
+	if got["a"] != 3 || got["b"] != 2 {
+		t.Fatalf("Extract after replace = %v", got)
+	}
+}
+
+// TestSetRegistry: a custom registry governs subsequent ingests.
+func TestSetRegistry(t *testing.T) {
+	r := &Registry{}
+	r.Register("only", func(sn *telemetry.Snapshot, out map[string]float64) {
+		out["only"] = float64(sn.Counters["sessions"])
+	})
+	s := New()
+	s.SetRegistry(r)
+	if err := s.Add("sw", "c", snap(map[string]string{"cell": "c"}, map[string]uint64{"sessions": 9}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	e := s.Entries("sw")[0]
+	if len(e.Metrics) != 1 || e.Metrics["only"] != 9 {
+		t.Fatalf("custom registry metrics = %v", e.Metrics)
+	}
+}
+
+// TestDiagShareMetrics: dimensioned diagnosis counters become
+// diag_share_<label> fractions of the session total.
+func TestDiagShareMetrics(t *testing.T) {
+	sn := snap(map[string]string{"cell": "c"}, map[string]uint64{
+		telemetry.CounterSessions: 8,
+		telemetry.CounterSessions + "_" + telemetry.DiagDim + "=healthy":        6,
+		telemetry.CounterSessions + "_" + telemetry.DiagDim + "=server-latency": 2,
+	}, nil)
+	got := DefaultRegistry().Extract(sn)
+	if got[DiagSharePrefix+"healthy"] != 0.75 {
+		t.Fatalf("diag_share_healthy = %g, want 0.75", got[DiagSharePrefix+"healthy"])
+	}
+	if got[DiagSharePrefix+"server-latency"] != 0.25 {
+		t.Fatalf("diag_share_server-latency = %g, want 0.25", got[DiagSharePrefix+"server-latency"])
+	}
+}
+
+// TestSaveErrorPaths: Save into a nonexistent directory fails and
+// leaves no temp file behind.
+func TestSaveErrorPaths(t *testing.T) {
+	s := New()
+	if err := s.Save("/nonexistent-dir/sub/store.json"); err == nil {
+		t.Fatal("Save into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,152 @@
+// query.go is the store's query engine: filter entries by label,
+// optionally group them by a spec axis (or any label), and rank the
+// resulting rows by a scalar metric. Results are fully deterministic —
+// rows sort by value with the row key as tie-break, so the same store
+// content always yields the same table.
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Query selects and orders store entries.
+type Query struct {
+	// Sweep restricts the query to one sweep ("" = all sweeps).
+	Sweep string
+	// Where filters entries to those whose labels match every pair
+	// exactly. Keys are raw label names; a spec axis is addressed as
+	// "axis:<name>" exactly as the snapshots label it.
+	Where map[string]string
+	// GroupBy aggregates matching entries by a label's value. A bare
+	// axis name resolves to the "axis:<name>" label when any matching
+	// entry carries it; otherwise the name is used as a label verbatim.
+	// Entries lacking the label are dropped from grouped results.
+	GroupBy string
+	// Rank names the metric to order by (required). Entries lacking the
+	// metric are skipped; a grouped row averages the metric over its
+	// members.
+	Rank string
+	// Desc orders best-first by descending value instead of ascending.
+	Desc bool
+	// Limit caps the number of rows returned (0 = no cap).
+	Limit int
+}
+
+// Row is one ranked result.
+type Row struct {
+	// Key identifies the row: "sweep/cell" for ungrouped queries, the
+	// group's label value for grouped ones.
+	Key string `json:"key"`
+	// Value is the ranked metric (group mean for grouped queries).
+	Value float64 `json:"value"`
+	// N counts the entries aggregated into the row (1 when ungrouped).
+	N int `json:"n"`
+}
+
+// Query runs q against the store. Rows come back sorted by Value
+// (ascending, or descending with q.Desc) with Key as the tie-break.
+func (s *Store) Query(q Query) ([]Row, error) {
+	if q.Rank == "" {
+		return nil, fmt.Errorf("store: query needs a rank metric (e.g. startup_ms_p95, rebuffer_rate_p99, hit_ratio)")
+	}
+	if q.Sweep != "" {
+		if _, ok := s.sweeps[q.Sweep]; !ok {
+			return nil, fmt.Errorf("store: unknown sweep %q (have %v)", q.Sweep, s.Sweeps())
+		}
+	}
+	var matched []Entry
+	for _, e := range s.Entries(q.Sweep) {
+		if matchLabels(e.Labels, q.Where) {
+			matched = append(matched, e)
+		}
+	}
+
+	var rows []Row
+	if q.GroupBy == "" {
+		for _, e := range matched {
+			v, ok := e.Metrics[q.Rank]
+			if !ok {
+				continue
+			}
+			rows = append(rows, Row{Key: e.Key(), Value: v, N: 1})
+		}
+	} else {
+		label := resolveGroupLabel(matched, q.GroupBy)
+		sums := make(map[string]*Row)
+		for _, e := range matched {
+			g, ok := e.Labels[label]
+			if !ok {
+				continue
+			}
+			v, ok := e.Metrics[q.Rank]
+			if !ok {
+				continue
+			}
+			r := sums[g]
+			if r == nil {
+				r = &Row{Key: g}
+				sums[g] = r
+			}
+			r.Value += v
+			r.N++
+		}
+		for _, r := range sums {
+			r.Value /= float64(r.N)
+			rows = append(rows, *r)
+		}
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			if q.Desc {
+				return rows[i].Value > rows[j].Value
+			}
+			return rows[i].Value < rows[j].Value
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows, nil
+}
+
+// Metrics lists every metric name present in the sweep's entries (""
+// = all sweeps), sorted — the vocabulary Query.Rank accepts.
+func (s *Store) Metrics(sweep string) []string {
+	seen := make(map[string]bool)
+	for _, e := range s.Entries(sweep) {
+		for name := range e.Metrics {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func matchLabels(labels, where map[string]string) bool {
+	for k, v := range where {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveGroupLabel maps a bare axis name to its "axis:<name>" label
+// when the matched entries carry one, so `-group-by zipf_s` works
+// without the caller knowing the label encoding.
+func resolveGroupLabel(entries []Entry, name string) string {
+	axis := "axis:" + name
+	for _, e := range entries {
+		if _, ok := e.Labels[axis]; ok {
+			return axis
+		}
+	}
+	return name
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// queryStore builds a store with two sweeps of handcrafted entries:
+// sweep "zipf" with an axis and sweep "other" to prove isolation.
+func queryStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	add := func(sweep, cell string, labels map[string]string, counters map[string]uint64) {
+		t.Helper()
+		if err := s.Add(sweep, cell, snap(labels, counters, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("zipf", "s=0.6", map[string]string{"axis:zipf_s": "0.6", "preset": "paper"},
+		map[string]uint64{"sessions": 100, "chunks": 1000, "chunks_hit": 750})
+	add("zipf", "s=0.9", map[string]string{"axis:zipf_s": "0.9", "preset": "paper"},
+		map[string]uint64{"sessions": 100, "chunks": 1000, "chunks_hit": 900})
+	add("zipf", "s=1.1", map[string]string{"axis:zipf_s": "1.1", "preset": "flash"},
+		map[string]uint64{"sessions": 100, "chunks": 1000, "chunks_hit": 950})
+	add("other", "s=0.6", map[string]string{"axis:zipf_s": "0.6"},
+		map[string]uint64{"sessions": 100, "chunks": 1000, "chunks_hit": 250})
+	return s
+}
+
+func keys(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Key
+	}
+	return out
+}
+
+// TestQueryRankAndDirection: rows order by value ascending by default,
+// descending with Desc, and Limit truncates after ordering.
+func TestQueryRankAndDirection(t *testing.T) {
+	s := queryStore(t)
+	rows, err := s.Query(Query{Sweep: "zipf", Rank: MetricHitRatio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(keys(rows), " "); got != "zipf/s=0.6 zipf/s=0.9 zipf/s=1.1" {
+		t.Fatalf("ascending order = %q", got)
+	}
+	rows, err = s.Query(Query{Sweep: "zipf", Rank: MetricHitRatio, Desc: true, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(keys(rows), " "); got != "zipf/s=1.1 zipf/s=0.9" {
+		t.Fatalf("descending limited order = %q", got)
+	}
+}
+
+// TestQueryWhereFilter: label filters restrict the rows; an unmatched
+// filter yields no rows rather than an error.
+func TestQueryWhereFilter(t *testing.T) {
+	s := queryStore(t)
+	rows, err := s.Query(Query{Sweep: "zipf", Where: map[string]string{"preset": "paper"}, Rank: MetricHitRatio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("preset=paper matched %d rows, want 2", len(rows))
+	}
+	rows, err = s.Query(Query{Sweep: "zipf", Where: map[string]string{"preset": "absent"}, Rank: MetricHitRatio})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("unmatched filter: rows=%d err=%v", len(rows), err)
+	}
+}
+
+// TestQueryGroupByAxis: a bare axis name resolves to its axis:<name>
+// label and rows aggregate by value; sweeps stay isolated via Sweep.
+func TestQueryGroupByAxis(t *testing.T) {
+	s := queryStore(t)
+	rows, err := s.Query(Query{Sweep: "zipf", GroupBy: "zipf_s", Rank: MetricHitRatio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(keys(rows), " "); got != "0.6 0.9 1.1" {
+		t.Fatalf("grouped keys = %q", got)
+	}
+	// Without the sweep restriction, the two s=0.6 cells (hit ratios
+	// 0.75 and 0.25) average into one group row.
+	rows, err = s.Query(Query{GroupBy: "zipf_s", Rank: MetricHitRatio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Key != "0.6" || rows[0].N != 2 || rows[0].Value != 0.5 {
+		t.Fatalf("cross-sweep group row = %+v, want key 0.6 N=2 value 0.5", rows[0])
+	}
+}
+
+// TestQueryErrors: a missing rank metric and an unknown sweep are
+// loud, and entries lacking the ranked metric are skipped silently.
+func TestQueryErrors(t *testing.T) {
+	s := queryStore(t)
+	if _, err := s.Query(Query{Sweep: "zipf"}); err == nil {
+		t.Fatal("query without a rank metric succeeded")
+	}
+	if _, err := s.Query(Query{Sweep: "nope", Rank: MetricHitRatio}); err == nil {
+		t.Fatal("query against an unknown sweep succeeded")
+	}
+	rows, err := s.Query(Query{Sweep: "zipf", Rank: "diag_share_healthy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rank on an absent metric returned %d rows, want 0", len(rows))
+	}
+}
+
+// TestMetricsVocabulary: Metrics lists the rankable names, including
+// derived ratios.
+func TestMetricsVocabulary(t *testing.T) {
+	s := queryStore(t)
+	names := s.Metrics("zipf")
+	want := map[string]bool{"sessions": false, "chunks": false, MetricHitRatio: false, MetricRetryShare: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("Metrics omits %q (got %v)", n, names)
+		}
+	}
+}

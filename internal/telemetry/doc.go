@@ -27,7 +27,7 @@
 //
 // # Wiring
 //
-// session.RunWithSinks(sc, campaign.Sink) streams a campaign;
+// session.Execute(sc, session.Options{Sinks: campaign.Sink}) streams a campaign;
 // Campaign.Snapshot() returns the merged Snapshot, which
 // WriteSnapshot/ReadSnapshot serialize as JSON (cmd/vodsim -stream writes
 // one, cmd/analyze -snapshot reads one, and internal/analysis's Stream*

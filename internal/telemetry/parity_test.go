@@ -47,11 +47,11 @@ func parityRun(t *testing.T) (*core.Dataset, *telemetry.Snapshot) {
 	parityOnce.Do(func() {
 		camp := telemetry.NewCampaign(0)
 		var col core.Collector
-		err := session.RunWithSinks(parityScenario(), func(popID int) core.RecordSink {
+		_, err := session.Execute(parityScenario(), session.Options{Sinks: func(popID int) core.RecordSink {
 			ds := &core.Dataset{}
 			col.Add(ds)
 			return core.TeeSink(ds, camp.Sink(popID))
-		})
+		}})
 		if err != nil {
 			panic(err)
 		}
@@ -274,8 +274,8 @@ func TestStreamingByteIdentical(t *testing.T) {
 			Parallelism: par,
 		}
 		camp := telemetry.NewCampaign(0)
-		if err := session.RunWithSinks(sc, camp.Sink); err != nil {
-			t.Fatalf("RunWithSinks(par=%d): %v", par, err)
+		if _, err := session.Execute(sc, session.Options{Sinks: camp.Sink}); err != nil {
+			t.Fatalf("Execute(par=%d): %v", par, err)
 		}
 		var buf bytes.Buffer
 		if err := telemetry.WriteSnapshot(&buf, camp.Snapshot()); err != nil {
