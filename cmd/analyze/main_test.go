@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"vidperf/internal/diagnose"
+	"vidperf/internal/figures"
+	"vidperf/internal/live"
 	"vidperf/internal/session"
 	"vidperf/internal/telemetry"
 	"vidperf/internal/timeline"
@@ -111,6 +113,40 @@ func TestWindowsCoverageInvariant(t *testing.T) {
 	if got := renderWindows(warm); !strings.Contains(got, "no timeline windows") {
 		t.Errorf("windowless snapshot did not explain itself: %s", got)
 	}
+}
+
+// goldenLiveSnapshot builds the fixture the live goldens pin: a
+// diagnosed live campaign — six channels on the shared publish clock
+// with one expected switch per viewing minute — so the cause-share
+// table carries the live-edge-limited row and the snapshot rendering
+// includes the stream-live figure.
+func goldenLiveSnapshot(t *testing.T) *telemetry.Snapshot {
+	t.Helper()
+	res, err := session.Execute(workload.Scenario{
+		Seed: 5, NumSessions: 500, NumPrefixes: 120, Parallelism: 1,
+		Live: live.Config{Channels: 6, SwitchPerMin: 1},
+	}, session.Options{Telemetry: true, SketchK: 64, Diagnose: &diagnose.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := res.Snapshot
+	sn.Labels = map[string]string{
+		"spec": "golden", "cell": "base", "diagnosis": "on", "live": "6-channel",
+	}
+	return sn
+}
+
+// TestGoldenLive pins the live-campaign renderings byte for byte: the
+// analyze diagnose cause-share table (with its live-edge-limited row)
+// and the full analyze snapshot figure set including stream-live.
+func TestGoldenLive(t *testing.T) {
+	sn := goldenLiveSnapshot(t)
+	checkGolden(t, "diagnose-live.golden", renderDiagnose(sn))
+	var b strings.Builder
+	for _, res := range figures.AllStreaming(sn) {
+		b.WriteString(res.Render() + "\n")
+	}
+	checkGolden(t, "snapshot-live.golden", b.String())
 }
 
 // TestGoldenDiagnose pins the analyze -diagnose cause-share table byte

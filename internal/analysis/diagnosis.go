@@ -38,15 +38,18 @@ type StreamingDiagnosis struct {
 func (d StreamingDiagnosis) Enabled() bool { return d.Labelled > 0 }
 
 // DegradedShare returns the fraction of labelled sessions whose label is
-// neither healthy nor abr-limited — the sessions some layer actually
-// hurt.
+// neither healthy, abr-limited, nor live-edge-limited — the sessions
+// some delivery layer actually hurt. Live-edge-limited sessions stalled
+// on the publish clock, which is the medium working as designed, so they
+// do not count against the delivery path.
 func (d StreamingDiagnosis) DegradedShare() float64 {
 	if d.Labelled == 0 {
 		return 0
 	}
 	var ok uint64
 	for _, r := range d.Rows {
-		if r.Label == diagnose.Healthy || r.Label == diagnose.ABRLimited {
+		switch r.Label {
+		case diagnose.Healthy, diagnose.ABRLimited, diagnose.LiveEdgeLimited:
 			ok += r.Sessions
 		}
 	}

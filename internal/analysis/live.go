@@ -1,0 +1,43 @@
+// live.go extracts the live-streaming view from a telemetry snapshot:
+// the join-time and live-edge-lag distributions, the per-channel session
+// mix, and the campaign-wide channel-switch count (internal/live). Like
+// the diagnosis view, it is entirely sketch- and counter-backed, so it
+// survives one-pass aggregation at any campaign size.
+package analysis
+
+import (
+	"vidperf/internal/telemetry"
+)
+
+// StreamingLive is the live-mode report of one snapshot.
+type StreamingLive struct {
+	// JoinTime is the arrival-to-first-frame distribution (ms) of
+	// sessions joining a channel in progress.
+	JoinTime *telemetry.QuantileSketch
+	// EdgeLag is the per-session total publish-clock wait (ms).
+	EdgeLag *telemetry.QuantileSketch
+
+	Sessions uint64               // total sessions in the snapshot
+	Switches uint64               // mid-stream channel switches, campaign-wide
+	Channels []telemetry.DimCount // sessions per join channel, sorted by channel
+
+	enabled bool
+}
+
+// Enabled reports whether the snapshot carries live-mode state at all
+// (the sketches are created eagerly in live mode, so even an empty live
+// campaign is recognized).
+func (l StreamingLive) Enabled() bool { return l.enabled }
+
+// StreamLive extracts the live-mode view from a snapshot.
+func StreamLive(sn *telemetry.Snapshot) StreamingLive {
+	_, ok := sn.Sketches[telemetry.MetricLiveEdgeLagMS]
+	return StreamingLive{
+		JoinTime: sn.Sketch(telemetry.MetricJoinTimeMS),
+		EdgeLag:  sn.Sketch(telemetry.MetricLiveEdgeLagMS),
+		Sessions: sn.Counter(telemetry.CounterSessions),
+		Switches: sn.Counter(telemetry.CounterLiveSwitches),
+		Channels: telemetry.CountersByDim(sn.Counters, telemetry.CounterSessions, telemetry.LiveChannelDim),
+		enabled:  ok,
+	}
+}

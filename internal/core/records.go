@@ -190,6 +190,15 @@ type SessionRecord struct {
 	CPUCores int
 	CPULoad  float64
 
+	// Live-mode summary (internal/live); zero for VoD sessions.
+	// LiveEdgeLagMS is the total time the session spent waiting on the
+	// publish clock — stalls caused by the medium, not the delivery path.
+	Live          bool
+	LiveChannel   int // channel joined at arrival
+	LiveJoinChunk int // absolute channel chunk playback started at
+	LiveSwitches  int // mid-stream channel switches
+	LiveEdgeLagMS float64
+
 	// Filled by preprocessing.
 	ProxySuspected bool
 }

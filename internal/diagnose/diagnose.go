@@ -23,6 +23,10 @@
 //     the Eq. 4 outlier screen or with an Eq. 5 lower bound above the
 //     configured floor; the download stack buffered data the player
 //     blamed on the network.
+//   - live-edge-limited: live scenarios only (internal/live) — the
+//     session's dominant stall was the publish clock: it caught up with
+//     the live edge and had to wait for chunks that did not exist yet.
+//     The medium, not any delivery layer, set the pace.
 //   - abr-limited: §4.4 / Fig. 19 — the session played smoothly but the
 //     adaptation algorithm left bitrate on the table (average bitrate
 //     below the configured share of the ladder top with no stalls).
@@ -44,13 +48,14 @@ import (
 // Label names one diagnosed bottleneck layer.
 type Label string
 
-// The seven diagnosis labels, from the server outward to the client.
+// The eight diagnosis labels, from the server outward to the client.
 const (
 	CacheMissFetch    Label = "cache-miss-fetch"
 	BackendLatency    Label = "backend-latency"
 	NetworkThroughput Label = "network-throughput"
 	NetworkLoss       Label = "network-loss"
 	ClientStack       Label = "client-stack"
+	LiveEdgeLimited   Label = "live-edge-limited"
 	ABRLimited        Label = "abr-limited"
 	Healthy           Label = "healthy"
 )
@@ -61,7 +66,7 @@ const (
 func Labels() []Label {
 	return []Label{
 		CacheMissFetch, BackendLatency, NetworkThroughput,
-		NetworkLoss, ClientStack, ABRLimited, Healthy,
+		NetworkLoss, ClientStack, LiveEdgeLimited, ABRLimited, Healthy,
 	}
 }
 
@@ -102,6 +107,12 @@ type Config struct {
 	// latency D_CDN + D_BE makes up at least this share of the chunk's
 	// total delivery time D_FB + D_LB (default 0.3).
 	ServerShare float64
+
+	// LiveLagShare labels a degraded live session live-edge-limited when
+	// its publish-clock wait is at least this share of its total stall
+	// budget (lag + re-buffering time), i.e. the clock — not the delivery
+	// path — dominated the stalls (default 0.5).
+	LiveLagShare float64
 }
 
 // WithDefaults returns the config with zero fields replaced by defaults.
@@ -126,6 +137,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ServerShare == 0 {
 		c.ServerShare = 0.3
+	}
+	if c.LiveLagShare == 0 {
+		c.LiveLagShare = 0.5
 	}
 	return c
 }
@@ -169,6 +183,17 @@ func Classify(s core.SessionRecord, chunks []core.ChunkRecord, cfg Config) Diagn
 		} else {
 			d.Label = Healthy
 		}
+		return d
+	}
+
+	// Live sessions whose stalls mostly came from waiting on the publish
+	// clock are limited by the medium itself: no layer vote could blame a
+	// delivery component for chunks that did not exist yet. The share test
+	// keeps genuinely network- or server-stalled live sessions (small lag,
+	// big re-buffering) in the regular vote below.
+	if s.Live && s.LiveEdgeLagMS > 0 &&
+		s.LiveEdgeLagMS >= cfg.LiveLagShare*(s.LiveEdgeLagMS+s.RebufDurMS) {
+		d.Label = LiveEdgeLimited
 		return d
 	}
 

@@ -46,6 +46,13 @@ func FuzzDecodeSpec(f *testing.F) {
 		`{"name":"x","baseline":"missing-cell"}`,
 		`{"name":"x","scenario":{"seed":18446744073709551615}}`,
 		`{"name":"x","scenario":{"bitrates":[235,3000]},"axes":[{"name":"zipf_s","values":[0.6,1.1]}]}`,
+		`{"name":"x","live":{"channels":8}}`,
+		`{"name":"x","live":{"channels":0}}`,
+		`{"name":"x","live":{"channels":-1}}`,
+		`{"name":"x","live":{"channels":4,"switch_per_min":100}}`,
+		`{"name":"x","live":{"channels":4,"chunk_seconds":6}}`, // typo'd live field
+		`{"name":"x","live":{"channels":4,"join":"zipf","join_zipf_s":1.1}}`,
+		`{"name":"x","serve":{"window_min":5},"live":{"channels":4}}`, // mutually exclusive
 	} {
 		f.Add([]byte(s))
 	}

@@ -98,6 +98,11 @@ func (s *Spec) Expand() ([]Cell, error) {
 		return nil, fmt.Errorf("experiment: spec %s: %w", s.Name, err)
 	}
 	base.Timeline = tl
+	lv, err := s.Live.Build()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: spec %s: %w", s.Name, err)
+	}
+	base.Live = lv
 	if len(s.Axes) == 0 {
 		return []Cell{{Name: "base", Scenario: base, Axes: map[string]string{}}}, nil
 	}

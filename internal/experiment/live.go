@@ -1,0 +1,70 @@
+// live.go is the JSON face of internal/live: the "live" block of an
+// experiment spec. Like the rest of the spec format it is strict —
+// unknown fields are rejected by the spec decoder — and every field but
+// channels is optional, inheriting internal/live's calibrated defaults.
+package experiment
+
+import (
+	"fmt"
+
+	"vidperf/internal/live"
+)
+
+// LiveSpec is the spec-file encoding of a live-channel configuration.
+// A spec with a live block turns the campaign's sessions into live
+// viewers: every channel publishes chunk i at i·chunk_sec on a shared
+// virtual-time publish clock, sessions join in progress at the live
+// edge, and a session that drains its buffer waits on the clock (live-
+// edge lag) instead of re-buffering on the delivery path.
+type LiveSpec struct {
+	// Channels is the number of live channels (required, >= 1 — a spec
+	// that carries a live block means to turn live mode on).
+	Channels int `json:"channels"`
+
+	// ChunkSec is the live chunk duration in seconds; one chunk is
+	// published per channel every ChunkSec (0 selects the default 6 s).
+	ChunkSec float64 `json:"chunk_sec,omitempty"`
+
+	// SwitchPerMin is the per-session channel-switch rate (expected
+	// switches per viewing minute; 0 = sessions never switch).
+	SwitchPerMin float64 `json:"switch_per_min,omitempty"`
+
+	// Join selects the channel-popularity distribution sessions join by:
+	// "uniform" (default) or "zipf".
+	Join string `json:"join,omitempty"`
+
+	// JoinZipfS is the Zipf exponent when join is "zipf" (0 selects the
+	// default 1.1).
+	JoinZipfS float64 `json:"join_zipf_s,omitempty"`
+
+	// JoinBehindChunks is how many chunks behind the live edge a joining
+	// session starts (0 selects the default 2; the small buffer of lead
+	// every live player keeps).
+	JoinBehindChunks int `json:"join_behind_chunks,omitempty"`
+}
+
+// Build converts the spec block into a validated live.Config. A nil
+// receiver (no live block) builds the zero config, which disables live
+// mode.
+func (l *LiveSpec) Build() (live.Config, error) {
+	var cfg live.Config
+	if l == nil {
+		return cfg, nil
+	}
+	cfg = live.Config{
+		Channels:         l.Channels,
+		ChunkDurationSec: l.ChunkSec,
+		SwitchPerMin:     l.SwitchPerMin,
+		JoinDist:         l.Join,
+		JoinZipfS:        l.JoinZipfS,
+		JoinBehindChunks: l.JoinBehindChunks,
+	}
+	if cfg.Channels < 1 {
+		return live.Config{}, fmt.Errorf("live block: channels must be >= 1 (got %d)", cfg.Channels)
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return live.Config{}, fmt.Errorf("live block: %w", err)
+	}
+	return cfg, nil
+}

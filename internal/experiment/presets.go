@@ -116,6 +116,34 @@ var presets = map[string]Spec{
 		}}},
 	},
 
+	// A steady live/linear campaign: eight channels on the shared publish
+	// clock, no switching. Diagnosis is on so the cause-share table shows
+	// the live-edge-limited label — degraded sessions whose stalls were
+	// the publish clock, not any delivery layer. This is the spec the CI
+	// live-determinism gate replays at -parallel 1 and 8 and byte-compares.
+	"live-steady": {
+		Name:        "live-steady",
+		Description: "Eight live channels, no switching: join time, live-edge lag, and per-channel audience mix.",
+		Scenario:    ScenarioSpec{Seed: u64(51), Sessions: 4000, Prefixes: 600, Videos: 1500},
+		Diagnosis:   true,
+		Live:        &LiveSpec{Channels: 8},
+	},
+
+	// Channel-surfing under a skewed audience: twelve channels joined by
+	// a Zipf draw, with sessions switching twice a minute. Switch storms
+	// fragment per-session cache locality while the publish clock keeps
+	// the hot edge synchronized — the stress case for the live path.
+	"channel-switch-storm": {
+		Name:        "channel-switch-storm",
+		Description: "Twelve zipf-joined live channels with two switches per viewing minute: switch-storm stress on the live edge.",
+		Scenario:    ScenarioSpec{Seed: u64(52), Sessions: 4000, Prefixes: 600, Videos: 1500},
+		Diagnosis:   true,
+		Live: &LiveSpec{
+			Channels: 12, SwitchPerMin: 2,
+			Join: "zipf", JoinZipfS: 1.1,
+		},
+	},
+
 	// The old hardcoded cmd/sweep zipf factor, ported verbatim: same
 	// seed, same scale, same exponents. internal/experiment's parity
 	// test pins this preset's cells to the old construction.

@@ -156,6 +156,9 @@ func RunCell(spec *Spec, cell Cell, outDir string) (CellResult, error) {
 	if spec.Timeline != nil {
 		sn.Labels["timeline"] = fmt.Sprintf("%d-phase", len(spec.Timeline.Phases))
 	}
+	if spec.Live != nil {
+		sn.Labels["live"] = fmt.Sprintf("%d-channel", spec.Live.Channels)
+	}
 	for name, value := range cell.Axes {
 		sn.Labels["axis:"+name] = value
 	}

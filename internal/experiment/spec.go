@@ -79,6 +79,16 @@ type Spec struct {
 	// timeline (phase injection is a batch-campaign feature).
 	Serve *ServeSpec `json:"serve,omitempty"`
 
+	// Live turns the campaign into a live/linear one (internal/live):
+	// sessions join one of the configured channels at the live edge and
+	// may only fetch chunks the shared publish clock has released, so a
+	// drained buffer waits on the clock (live-edge lag) instead of the
+	// delivery path. Live campaigns additionally record join_time_ms and
+	// live_edge_lag_ms sketches plus per-channel session counters. It is
+	// incompatible with serve mode (live campaigns are batch campaigns);
+	// like the timeline it is shared by every cell, not an axis.
+	Live *LiveSpec `json:"live,omitempty"`
+
 	// Axes are crossed into the cell grid in declaration order (first
 	// axis slowest). A spec with no axes is a single cell named "base".
 	Axes []Axis `json:"axes,omitempty"`
@@ -306,6 +316,9 @@ func Load(r io.Reader) (*Spec, error) {
 		if s.Serve != nil {
 			merged.Serve = s.Serve
 		}
+		if s.Live != nil {
+			merged.Live = s.Live
+		}
 		if len(s.Axes) != 0 {
 			merged.Axes = s.Axes
 		}
@@ -361,6 +374,9 @@ func (s *Spec) Validate() error {
 		}
 		if s.Timeline != nil {
 			return fmt.Errorf("experiment: spec %s: serve and timeline are mutually exclusive (phase injection is a batch-campaign feature)", s.Name)
+		}
+		if s.Live != nil {
+			return fmt.Errorf("experiment: spec %s: serve and live are mutually exclusive (live channels are a batch-campaign feature)", s.Name)
 		}
 	}
 	seen := map[string]bool{}

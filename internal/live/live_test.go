@@ -1,0 +1,201 @@
+package live
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestValidate pins the accepted and rejected config shapes.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value (disabled)", Config{}, true},
+		{"disabled ignores junk", Config{ChunkDurationSec: -5, JoinDist: "banana"}, true},
+		{"minimal enabled", Config{Channels: 1}, true},
+		{"full enabled", Config{Channels: 12, ChunkDurationSec: 4, SwitchPerMin: 2,
+			JoinDist: JoinZipf, JoinZipfS: 1.1, JoinBehindChunks: 3}, true},
+		{"max channels", Config{Channels: MaxChannels}, true},
+		{"negative channels", Config{Channels: -1}, false},
+		{"too many channels", Config{Channels: MaxChannels + 1}, false},
+		{"chunk too short", Config{Channels: 2, ChunkDurationSec: 0.5}, false},
+		{"chunk too long", Config{Channels: 2, ChunkDurationSec: 61}, false},
+		{"chunk at bounds", Config{Channels: 2, ChunkDurationSec: MinChunkSec}, true},
+		{"negative switch rate", Config{Channels: 2, SwitchPerMin: -1}, false},
+		{"switch rate too high", Config{Channels: 2, SwitchPerMin: MaxSwitchPerMin + 1}, false},
+		{"unknown join dist", Config{Channels: 2, JoinDist: "lognormal"}, false},
+		{"uniform join", Config{Channels: 2, JoinDist: JoinUniform}, true},
+		{"negative zipf skew", Config{Channels: 2, JoinDist: JoinZipf, JoinZipfS: -0.1}, false},
+		{"negative join behind", Config{Channels: 2, JoinBehindChunks: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestWithDefaults: a disabled config passes through untouched (the
+// byte-identity invariant depends on the zero value staying zero), and
+// an enabled config fills exactly the zero knobs.
+func TestWithDefaults(t *testing.T) {
+	if got := (Config{}).WithDefaults(); got != (Config{}) {
+		t.Fatalf("disabled WithDefaults = %+v, want zero", got)
+	}
+	got := Config{Channels: 8}.WithDefaults()
+	want := Config{
+		Channels:         8,
+		ChunkDurationSec: DefaultChunkDurationSec,
+		JoinDist:         JoinUniform,
+		JoinZipfS:        DefaultJoinZipfS,
+		JoinBehindChunks: DefaultJoinBehindChunks,
+	}
+	if got != want {
+		t.Fatalf("WithDefaults = %+v, want %+v", got, want)
+	}
+	full := Config{Channels: 3, ChunkDurationSec: 2, SwitchPerMin: 1,
+		JoinDist: JoinZipf, JoinZipfS: 0.8, JoinBehindChunks: 5}
+	if got := full.WithDefaults(); got != full {
+		t.Fatalf("set fields overwritten: %+v", got)
+	}
+	if err := (Config{Channels: 8}).WithDefaults().Validate(); err != nil {
+		t.Fatalf("defaulted config invalid: %v", err)
+	}
+}
+
+// TestPublishClockTable pins the clock arithmetic by example.
+func TestPublishClockTable(t *testing.T) {
+	c := Config{Channels: 4, ChunkDurationSec: 6, JoinBehindChunks: 2}
+	cases := []struct {
+		atMS       float64
+		edge, join int
+	}{
+		{-100, 0, 0},
+		{0, 0, 0},
+		{5999, 0, 0},
+		{6000, 1, 0},
+		{12000, 2, 0},
+		{18000, 3, 1},
+		{59999, 9, 7},
+		{600000, 100, 98},
+	}
+	for _, tc := range cases {
+		if got := c.EdgeChunk(tc.atMS); got != tc.edge {
+			t.Errorf("EdgeChunk(%g) = %d, want %d", tc.atMS, got, tc.edge)
+		}
+		if got := c.JoinChunk(tc.atMS); got != tc.join {
+			t.Errorf("JoinChunk(%g) = %d, want %d", tc.atMS, got, tc.join)
+		}
+	}
+	if got := c.PublishMS(3); got != 18000 {
+		t.Errorf("PublishMS(3) = %g", got)
+	}
+	if got := c.PublishMS(-1); got != 0 {
+		t.Errorf("PublishMS(-1) = %g", got)
+	}
+	if got := c.SwitchProb(); got != 0 {
+		t.Errorf("SwitchProb with zero rate = %g", got)
+	}
+	if got := (Config{Channels: 2, ChunkDurationSec: 6, SwitchPerMin: 2}).SwitchProb(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("SwitchProb(2/min, 6s chunks) = %g, want 0.2", got)
+	}
+	if got := (Config{Channels: 2, ChunkDurationSec: 60, SwitchPerMin: 60}).SwitchProb(); got != 1 {
+		t.Errorf("SwitchProb clamp = %g, want 1", got)
+	}
+}
+
+// clockConfig maps arbitrary quick inputs onto a valid enabled config.
+// The chunk duration is quantized to whole seconds so every quantity in
+// the properties below (durations in ms, publish times, whole-ms join
+// times) is an exactly-representable float64 integer — the properties
+// assert exact clock arithmetic, not float tolerance.
+func clockConfig(chunkSec float64, behind int) Config {
+	sec := MinChunkSec + math.Mod(math.Abs(chunkSec), MaxChunkSec-MinChunkSec)
+	if math.IsNaN(sec) || math.IsInf(sec, 0) {
+		sec = DefaultChunkDurationSec
+	}
+	sec = math.Floor(sec)
+	if behind < 0 {
+		behind = -behind
+	}
+	return Config{Channels: 4, ChunkDurationSec: sec, JoinBehindChunks: behind % 64}
+}
+
+// joinTime maps arbitrary quick inputs onto a finite non-negative
+// whole-millisecond virtual time (integral and bounded so the float
+// arithmetic in the properties stays exact).
+func joinTime(t float64) float64 {
+	v := math.Abs(t)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Floor(math.Mod(v, 1e10))
+}
+
+// TestJoinNeverAheadOfClock: for any arrival or switch time t >= 0, the
+// join target is already published — PublishMS(JoinChunk(t)) <= t — and
+// sits in [0, EdgeChunk(t)]. This is the property that makes the first
+// request after a join or switch wait-free.
+func TestJoinNeverAheadOfClock(t *testing.T) {
+	prop := func(chunkSec float64, behind int, at float64) bool {
+		c := clockConfig(chunkSec, behind)
+		tm := joinTime(at)
+		j := c.JoinChunk(tm)
+		return j >= 0 && j <= c.EdgeChunk(tm) && c.PublishMS(j) <= tm
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClockNeverRewinds: the publish clock is global and monotonic — at
+// any later time the edge (and so every switch's re-join target) is at
+// least what it was earlier. A channel switch therefore can never rewind
+// any channel's clock: the switched-to channel's edge is the same edge.
+func TestClockNeverRewinds(t *testing.T) {
+	prop := func(chunkSec float64, behind int, at1, at2 float64) bool {
+		c := clockConfig(chunkSec, behind)
+		t1, t2 := joinTime(at1), joinTime(at2)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return c.EdgeChunk(t1) <= c.EdgeChunk(t2) && c.JoinChunk(t1) <= c.JoinChunk(t2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublishEdgeInverse: EdgeChunk is the inverse of PublishMS — the
+// edge chunk is published, the next one is not.
+func TestPublishEdgeInverse(t *testing.T) {
+	prop := func(chunkSec float64, at float64) bool {
+		c := clockConfig(chunkSec, 0)
+		tm := joinTime(at)
+		e := c.EdgeChunk(tm)
+		return c.PublishMS(e) <= tm && tm < c.PublishMS(e+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwitchProbClamped: the per-chunk switch probability is a
+// probability for every config Validate accepts.
+func TestSwitchProbClamped(t *testing.T) {
+	prop := func(chunkSec, perMin float64) bool {
+		c := clockConfig(chunkSec, 0)
+		c.SwitchPerMin = math.Mod(math.Abs(perMin), MaxSwitchPerMin)
+		if math.IsNaN(c.SwitchPerMin) || math.IsInf(c.SwitchPerMin, 0) {
+			c.SwitchPerMin = 0
+		}
+		p := c.SwitchProb()
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -131,6 +131,7 @@ func executeTelemetry(sc workload.Scenario, opt Options) (*telemetry.Snapshot, e
 		SketchK:  opt.SketchK,
 		Diagnose: opt.Diagnose,
 		Windows:  windows,
+		Live:     eff.Live.Enabled(),
 	})
 	if err := runOnPopulationWithSinks(workload.Build(sc), camp.Sink, opt.Progress); err != nil {
 		return nil, err

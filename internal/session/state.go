@@ -43,14 +43,31 @@ type sessionState struct {
 	lastOutlier bool
 	prevRebufN  int
 	prevRebufMS float64
+
+	// Live-mode state: the channel currently tuned (nil for VoD), the
+	// absolute channel chunk the next request targets, and the accrued
+	// publish-clock wait. The serving server stays pinned to the join
+	// channel (plan.Video) so a session never crosses its shard; only
+	// the cache keys follow liveVideo across switches.
+	liveVideo    *catalog.Video
+	liveAbs      int
+	liveChannel  int
+	liveSwitches int
+	liveLagMS    float64
 }
+
+// liveProbe, when non-nil, observes every live chunk issue as
+// (sessionID, absolute chunk, issue time, publish time). It exists for
+// the publish-clock property tests, which run at Parallelism 1; the
+// hook is package-level state, so it must stay nil in production runs.
+var liveProbe func(sessionID uint64, absChunk int, issueMS, publishMS float64)
 
 func newSessionState(sh *slotShard, plan workload.SessionPlan,
 	fleet *cdn.Fleet, eng *sim.Engine) *sessionState {
 
 	pop := sh.pop
 	r := stats.NewRand(pop.Scenario.Seed ^ (plan.ID * 0xdeadbeefcafef00d))
-	return &sessionState{
+	st := &sessionState{
 		shard:   sh,
 		pop:     pop,
 		plan:    plan,
@@ -65,6 +82,12 @@ func newSessionState(sh *slotShard, plan workload.SessionPlan,
 		est:     abr.NewEstimator(0.3),
 		records: sh.getRecords(plan.WatchChunks),
 	}
+	if plan.Live {
+		st.liveVideo = pop.LiveVideo(plan.LiveChannel)
+		st.liveChannel = plan.LiveChannel
+		st.liveAbs = plan.LiveJoinChunk
+	}
+	return st
 }
 
 // abrContext assembles the signals the adaptation algorithm sees.
@@ -88,13 +111,42 @@ func (s *sessionState) lastInstantKbps() float64 {
 	return s.records[len(s.records)-1].InstantThroughputKbps()
 }
 
-// requestNextChunk issues the HTTP GET for the current chunk.
+// requestNextChunk issues the HTTP GET for the current chunk. In live
+// mode it first gates on the publish clock: an unpublished target chunk
+// means the player idles until the clock releases it, accruing
+// live-edge lag. The gate runs before any RNG draw, so the retry at
+// publish time consumes exactly the draws a single issue would.
 func (s *sessionState) requestNextChunk() {
+	if s.liveVideo != nil {
+		pub := s.pop.Scenario.ArrivalOffsetMS + s.pop.Scenario.Live.PublishMS(s.liveAbs)
+		if now := s.eng.Now(); now < pub {
+			wait := pub - now
+			s.liveLagMS += wait
+			s.conn.AdvanceIdle(wait)
+			s.eng.At(pub, func(float64) { s.requestNextChunk() })
+			return
+		}
+	}
+
 	idx := s.chunkIdx
 	bitrate := s.algo.Next(s.abrContext())
-	dur := s.pop.Catalog.ChunkDurationSec(s.plan.Video, idx)
+	video, chunkIdx := s.plan.Video, idx
+	var dur float64
+	if s.liveVideo != nil {
+		// Live chunks are constant-length (a channel has no "last chunk")
+		// and are addressed by absolute channel position, so every viewer
+		// at the edge asks the cache for the same key.
+		video, chunkIdx = s.liveVideo, s.liveAbs
+		dur = s.pop.Scenario.Live.ChunkDurationSec
+		if liveProbe != nil {
+			liveProbe(s.plan.ID, s.liveAbs, s.eng.Now(),
+				s.pop.Scenario.ArrivalOffsetMS+s.pop.Scenario.Live.PublishMS(s.liveAbs))
+		}
+	} else {
+		dur = s.pop.Catalog.ChunkDurationSec(video, idx)
+	}
 	size := catalog.ChunkSizeBytes(bitrate, dur)
-	key := catalog.ChunkKey(s.plan.Video.ID, idx, bitrate)
+	key := catalog.ChunkKey(video.ID, chunkIdx, bitrate)
 
 	// Path state for this chunk: cross-traffic episode level. A congested
 	// uplink both delays and drops, so the episode raises the loss rate.
@@ -104,7 +156,7 @@ func (s *sessionState) requestNextChunk() {
 
 	req := cdn.Request{
 		Key: key, SizeBytes: size,
-		VideoID: s.plan.Video.ID, ChunkIndex: idx,
+		VideoID: video.ID, ChunkIndex: chunkIdx,
 		Next:          s.prefetchList(idx, bitrate),
 		BackendFactor: s.plan.BackendFactor,
 	}
@@ -116,9 +168,11 @@ func (s *sessionState) requestNextChunk() {
 }
 
 // prefetchList names the session's next two chunks for servers with
-// prefetching enabled.
+// prefetching enabled. Live sessions never prefetch: the next chunk may
+// not be published yet, and fetching ahead of the clock would break the
+// published-only invariant.
 func (s *sessionState) prefetchList(idx, bitrate int) []cdn.NextChunk {
-	if s.fleet.Config().Server.Prefetch == 0 {
+	if s.liveVideo != nil || s.fleet.Config().Server.Prefetch == 0 {
 		return nil
 	}
 	var out []cdn.NextChunk
@@ -205,6 +259,11 @@ func (s *sessionState) onServed(t0 float64, idx, bitrate int, dur float64, size 
 		return
 	}
 
+	if s.liveVideo != nil {
+		s.liveAbs++
+		s.maybeSwitchChannel(tLastByte)
+	}
+
 	// Steady state: request the next chunk immediately unless the buffer
 	// is full, in which case wait for it to drain to the high-water mark.
 	nextAt := tLastByte
@@ -214,6 +273,31 @@ func (s *sessionState) onServed(t0 float64, idx, bitrate int, dur float64, size 
 		s.conn.AdvanceIdle(wait)
 	}
 	s.eng.At(nextAt, func(float64) { s.requestNextChunk() })
+}
+
+// maybeSwitchChannel draws the per-chunk channel-switch decision. A
+// switch re-tunes the session to a different channel at the live edge
+// (minus the join margin) without flushing the player buffer — a
+// seamless switch, so the cost shows up at the cache (a new hot edge)
+// rather than as a startup event. The publish clock is global, so the
+// re-join target is always already published and never behind a chunk
+// the session could have seen on the new channel later.
+func (s *sessionState) maybeSwitchChannel(nowMS float64) {
+	lc := s.pop.Scenario.Live
+	if lc.Channels <= 1 || lc.SwitchPerMin <= 0 {
+		return
+	}
+	if !s.r.Bool(lc.SwitchProb()) {
+		return
+	}
+	next := s.r.Intn(lc.Channels - 1)
+	if next >= s.liveChannel {
+		next++
+	}
+	s.liveChannel = next
+	s.liveVideo = s.pop.LiveVideo(next)
+	s.liveSwitches++
+	s.liveAbs = lc.JoinChunk(nowMS - s.pop.Scenario.ArrivalOffsetMS)
 }
 
 // finish closes the session and writes its records into the dataset.
@@ -285,6 +369,13 @@ func (s *sessionState) finish() {
 	}
 	if !s.play.Started() {
 		rec.StartupMS = math.NaN()
+	}
+	if pl.Live {
+		rec.Live = true
+		rec.LiveChannel = pl.LiveChannel
+		rec.LiveJoinChunk = pl.LiveJoinChunk
+		rec.LiveSwitches = s.liveSwitches
+		rec.LiveEdgeLagMS = s.liveLagMS
 	}
 	s.sink.ConsumeSession(rec, s.records)
 	// The sink contract says chunks are valid only for the duration of the

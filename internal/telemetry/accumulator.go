@@ -75,6 +75,11 @@ type Accumulator struct {
 	// the per-window sketches merge in.
 	windows     []timeline.Window
 	windowNames []string
+
+	// Live mode (see live.go): join-time and live-edge-lag sketches plus
+	// per-channel counters; liveNames is their canonical merge order.
+	live      bool
+	liveNames []string
 }
 
 // Config assembles an accumulator's optional modes next to its sketch
@@ -91,6 +96,9 @@ type Config struct {
 	// Windows, when non-empty, charges every consumed session to the
 	// timeline window containing its arrival (see windows.go).
 	Windows []timeline.Window
+	// Live, when true, folds live-mode QoE (join time, live-edge lag,
+	// per-channel counters) into the aggregates (see live.go).
+	Live bool
 }
 
 // NewAccumulator returns an empty accumulator. Dimension counters key on
@@ -121,6 +129,9 @@ func NewAccumulatorWith(cfg Config) *Accumulator {
 		a.enableDiagnosis(*cfg.Diagnose)
 	}
 	a.enableWindows(cfg.Windows)
+	if cfg.Live {
+		a.enableLive()
+	}
 	return a
 }
 
@@ -146,6 +157,9 @@ func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRe
 	}
 	if len(a.windows) > 0 {
 		a.consumeWindow(s, diagLabel)
+	}
+	if a.live {
+		a.consumeLive(s)
 	}
 
 	for i := range chunks {
@@ -188,6 +202,9 @@ func (a *Accumulator) Merge(o *Accumulator) {
 		a.sketches[m].Merge(o.sketches[m])
 	}
 	for _, m := range a.windowNames {
+		a.sketches[m].Merge(o.sketches[m])
+	}
+	for _, m := range a.liveNames {
 		a.sketches[m].Merge(o.sketches[m])
 	}
 	for name, h := range a.hists {

@@ -13,6 +13,7 @@ import (
 	"vidperf/internal/cdn"
 	"vidperf/internal/clientstack"
 	"vidperf/internal/geo"
+	"vidperf/internal/live"
 	"vidperf/internal/netpath"
 	"vidperf/internal/stats"
 	"vidperf/internal/tcpmodel"
@@ -81,6 +82,13 @@ type Scenario struct {
 	// (possibly rate-warped) arrival time, so the zero value — no
 	// phases — is byte-identical to a scenario without a timeline.
 	Timeline timeline.Timeline
+
+	// Live switches the catalog from on-demand titles to linear channels
+	// (internal/live): sessions join a channel at the live edge and may
+	// only request chunks the publish clock has released. The zero value
+	// (no channels) is byte-identical to a scenario without live mode —
+	// the one channel draw it adds happens only when live is enabled.
+	Live live.Config
 }
 
 // WithDefaults returns the effective scenario with zero fields replaced
@@ -130,6 +138,7 @@ func (s Scenario) WithDefaults() Scenario {
 	if s.GPUFrac == 0 {
 		s.GPUFrac = 0.45
 	}
+	s.Live = s.Live.WithDefaults()
 	return s
 }
 
@@ -162,7 +171,24 @@ type Population struct {
 	// identity); built once here because the planner warps twice per
 	// session.
 	warp *timeline.ArrivalWarp
+
+	// liveVideos are the per-channel synthetic assets of a live scenario
+	// (empty otherwise); liveWeights is the channel-popularity mass the
+	// join draw samples from.
+	liveVideos  []catalog.Video
+	liveWeights []float64
 }
+
+// liveVideoIDBase offsets channel video IDs far above any catalog title
+// ID, so live chunk keys can never collide with VoD chunk keys. Channel
+// chunk indices stay well under catalog.ChunkKey's 20-bit index field
+// (a 30-minute window at 1-second chunks is ~1800 chunks).
+const liveVideoIDBase = 1 << 20
+
+// liveSlackChunks extends each channel's schedule past the live edge at
+// the end of the arrival window, so late joiners still have a full watch
+// length of chunks ahead of them.
+const liveSlackChunks = 2048
 
 // Build generates the population for sc. The same seed yields the same
 // population.
@@ -176,8 +202,48 @@ func Build(sc Scenario) *Population {
 		warp:     sc.Timeline.NewArrivalWarp(sc.ArrivalWindowMS),
 	}
 	pop.buildPrefixes(r.Split())
+	pop.buildLiveChannels()
 	return pop
 }
+
+// buildLiveChannels materializes one synthetic asset per linear channel:
+// a long-running "video" whose chunk i the publish clock releases at
+// i·chunk_dur. Channel popularity is uniform or zipf-skewed per the live
+// config. Channel ranks sit above any PartitionTopRanks setting on
+// purpose: a channel consistent-hashes to ONE server slot per PoP (like
+// a real live CDN pinning a stream to an edge server), so every viewer
+// of a channel shares that server's synchronized hot edge. Per-session
+// top-rank spreading would fragment the edge into one miss per slot.
+func (p *Population) buildLiveChannels() {
+	lc := p.Scenario.Live
+	if !lc.Enabled() {
+		return
+	}
+	n := lc.EdgeChunk(p.Scenario.ArrivalWindowMS) + 1 + liveSlackChunks
+	p.liveVideos = make([]catalog.Video, lc.Channels)
+	p.liveWeights = make([]float64, lc.Channels)
+	var zipf *stats.Zipf
+	if lc.JoinDist == live.JoinZipf {
+		zipf = stats.NewZipf(lc.Channels, lc.JoinZipfS)
+	}
+	for ch := range p.liveVideos {
+		p.liveVideos[ch] = catalog.Video{
+			ID:          liveVideoIDBase + ch,
+			Rank:        liveVideoIDBase + ch,
+			DurationSec: float64(n) * lc.ChunkDurationSec,
+			NumChunks:   n,
+		}
+		if zipf != nil {
+			p.liveWeights[ch] = zipf.Prob(ch)
+		} else {
+			p.liveWeights[ch] = 1
+		}
+	}
+}
+
+// LiveVideo returns channel ch's synthetic asset. Valid only for live
+// scenarios and 0 <= ch < Live.Channels.
+func (p *Population) LiveVideo(ch int) *catalog.Video { return &p.liveVideos[ch] }
 
 func (p *Population) buildPrefixes(r *stats.Rand) {
 	sc := p.Scenario
@@ -296,6 +362,14 @@ type SessionPlan struct {
 	ClientIP string
 	HTTPIP   string
 
+	// Live marks a live-mode session: Video is channel LiveChannel's
+	// synthetic asset and playback starts at absolute chunk
+	// LiveJoinChunk (the live edge at arrival, minus the join margin),
+	// not chunk 0. The runner gates every request on the publish clock.
+	Live          bool
+	LiveChannel   int
+	LiveJoinChunk int
+
 	// ServingPoP is the PoP that serves the session: the prefix's PoP
 	// unless a timeline phase has it down at the session's arrival, in
 	// which case it is the phase's failover PoP.
@@ -318,13 +392,16 @@ type SessionPlan struct {
 // pure transforms — no extra RNG draws — so an empty timeline yields
 // exactly the pre-timeline plan.
 func (p *Population) PlanSession(id uint64) SessionPlan {
-	r, pre, video, watch, arrival := p.planHead(id)
+	r, pre, video, watch, arrival, lv := p.planHead(id)
 	plan := SessionPlan{
 		ID:            id,
 		ArrivalMS:     arrival,
 		Prefix:        pre,
 		Video:         video,
 		WatchChunks:   watch,
+		Live:          p.Scenario.Live.Enabled(),
+		LiveChannel:   lv.Channel,
+		LiveJoinChunk: lv.Join,
 		Platform:      samplePlatform(r, p.Scenario.GPUFrac),
 		PathParams:    pre.Profile.SessionParams(r),
 		ClientIP:      fmt.Sprintf("10.%d.%d.%d", pre.ID/250, pre.ID%250, 1+r.Intn(250)),
@@ -359,6 +436,13 @@ func (p *Population) warpArrival(u float64) float64 {
 	return p.warp.At(u)
 }
 
+// liveHead is the live-mode part of a plan head: the joined channel and
+// the arrival-derived start chunk. Zero for VoD scenarios.
+type liveHead struct {
+	Channel int
+	Join    int
+}
+
 // planHead replays the shared head of session id's plan — the prefix,
 // video, watch-length, and (warped) arrival draws, in exactly the order
 // PlanSession consumes them — and returns the RNG positioned for the
@@ -367,16 +451,34 @@ func (p *Population) warpArrival(u float64) float64 {
 // disagree. The returned arrival is window-relative: timeline phase
 // lookups key on it, and callers that need the virtual-clock arrival add
 // Scenario.ArrivalOffsetMS themselves.
-func (p *Population) planHead(id uint64) (r *stats.Rand, pre *Prefix, video *catalog.Video, watch int, arrival float64) {
+//
+// In live mode one extra draw (the channel) follows the arrival draw,
+// the channel's asset replaces the sampled title, and the join chunk
+// derives from the arrival with no further randomness — so a disabled
+// live block leaves the draw stream untouched.
+func (p *Population) planHead(id uint64) (r *stats.Rand, pre *Prefix, video *catalog.Video, watch int, arrival float64, lv liveHead) {
 	r = stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
 	pre = p.SamplePrefix(r)
 	video = p.Catalog.Sample(r)
-	watch = 1 + int(r.Exp(p.Scenario.MeanWatchedChunks-1))
+	rawWatch := 1 + int(r.Exp(p.Scenario.MeanWatchedChunks-1))
+	watch = rawWatch
 	if watch > video.NumChunks {
 		watch = video.NumChunks
 	}
 	arrival = p.warpArrival(r.Uniform(0, p.Scenario.ArrivalWindowMS))
-	return r, pre, video, watch, arrival
+	if p.Scenario.Live.Enabled() {
+		lv.Channel = r.Choice(p.liveWeights)
+		video = &p.liveVideos[lv.Channel]
+		lv.Join = p.Scenario.Live.JoinChunk(arrival)
+		watch = rawWatch
+		if max := video.NumChunks - lv.Join; watch > max {
+			watch = max
+		}
+		if watch < 1 {
+			watch = 1
+		}
+	}
+	return r, pre, video, watch, arrival, lv
 }
 
 // servingPoP applies the timeline's PoP-outage failover (if any) to a
@@ -428,7 +530,7 @@ func (p *Population) applyPhaseEffects(plan *SessionPlan) {
 // partitioning — but it remains the contract that pins the arrival draw
 // position inside the plan.
 func (p *Population) SessionArrival(id uint64) float64 {
-	_, _, _, _, arrival := p.planHead(id)
+	_, _, _, _, arrival, _ := p.planHead(id)
 	return arrival + p.Scenario.ArrivalOffsetMS
 }
 
@@ -440,7 +542,7 @@ func (p *Population) SessionPoP(id uint64) int {
 		r := stats.NewRand(p.Scenario.Seed ^ (id * 0x9e3779b97f4a7c15))
 		return p.SamplePrefix(r).PoP
 	}
-	_, pre, _, _, arrival := p.planHead(id)
+	_, pre, _, _, arrival, _ := p.planHead(id)
 	return p.servingPoP(pre.PoP, arrival)
 }
 
@@ -494,7 +596,7 @@ func (p *Population) PartitionBySlot(cfg cdn.FleetConfig) ([][]SessionRef, []int
 	parts := make([][]SessionRef, cfg.NumPoPs*cfg.ServersPerPoP)
 	chunks := make([]int, len(parts))
 	for id := uint64(1); id <= uint64(p.Scenario.NumSessions); id++ {
-		_, pre, video, watch, arrival := p.planHead(id)
+		_, pre, video, watch, arrival, _ := p.planHead(id)
 		pop := p.servingPoP(pre.PoP, arrival)
 		if pop < 0 || pop >= cfg.NumPoPs {
 			pop = 0
