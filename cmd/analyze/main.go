@@ -10,6 +10,7 @@
 //	analyze compare baseline.json candidate.json
 //	analyze diagnose snap.json
 //	analyze windows snap.json
+//	analyze detect-proxies [-max-sessions-per-egress 50] trace.jsonl
 //	analyze ingest -store campaigns.json [-sweep name] dir|snap.json ...
 //	analyze query -store campaigns.json [-sweep name] [-where k=v,...] [-group-by axis] [-rank metric] [-desc] [-limit n] [-json]
 //	analyze diff-sweep -store campaigns.json [-json] base candidate
@@ -34,6 +35,15 @@
 // "diagnosis": true), failing unless every session carries exactly one
 // label. analyze windows renders the per-window QoE table from a
 // timeline run, failing unless the windows cover every session.
+//
+// analyze detect-proxies runs the paper's §3 proxy-detection rules over
+// a JSONL trace (vodsim -spec ... -trace): sessions whose CDN-seen HTTP
+// client IP disagrees with their beacon IP, or whose IP carries more
+// than -max-sessions-per-egress sessions, are flagged as proxied. The
+// report grades the detector against the trace's proxypop ground truth
+// (precision/recall, detected vs configured share) and prints the
+// filtered-vs-unfiltered ablation — what the paper's CV(SRTT), startup
+// and re-buffering quantiles would look like had proxies stayed in.
 //
 // analyze ingest folds snapshots into the campaign store: a directory
 // argument must hold a manifest.json from sweep -out (the manifest
@@ -63,6 +73,7 @@ import (
 	"vidperf/internal/core"
 	"vidperf/internal/experiment"
 	"vidperf/internal/figures"
+	"vidperf/internal/proxydetect"
 	"vidperf/internal/store"
 	"vidperf/internal/telemetry"
 )
@@ -76,6 +87,7 @@ subcommands:
   compare     diff two snapshots (baseline candidate)
   diagnose    render the root-cause share report from a diagnosed snapshot
   windows     render the per-window QoE report from a timeline snapshot
+  detect-proxies  run the §3 proxy-detection rules + ablation over a trace
   ingest      fold sweep directories or loose snapshots into a campaign store
   query       filter/group/rank the campaign store into a league table
   diff-sweep  regression-diff two ingested sweeps cell-by-cell
@@ -103,6 +115,8 @@ func main() {
 		cmdDiagnose(args)
 	case "windows":
 		cmdWindows(args)
+	case "detect-proxies":
+		cmdDetectProxies(args)
 	case "ingest":
 		cmdIngest(args)
 	case "query":
@@ -274,6 +288,41 @@ func cmdWindows(args []string) {
 // renderWindows is the windows output (pinned by the golden tests).
 func renderWindows(sn *telemetry.Snapshot) string {
 	return figures.StreamWindows(sn).Render() + "\n"
+}
+
+// cmdDetectProxies runs the §3 detector over a materialized trace and
+// renders the detection report with its ablation, exiting non-zero when
+// the trace carries ground truth and the detector misses its accuracy
+// bars.
+func cmdDetectProxies(args []string) {
+	fs := flag.NewFlagSet("analyze detect-proxies", flag.ExitOnError)
+	maxPerEgress := fs.Int("max-sessions-per-egress", proxydetect.DefaultMaxSessionsPerEgress,
+		"rule-(ii) volume threshold: more sessions than this behind one IP flags it as a shared egress")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatalf("usage: analyze detect-proxies [flags] trace.jsonl (got %d args)", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := core.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s", ds)
+	res := figures.ProxyDetection(ds, proxydetect.Config{MaxSessionsPerEgress: *maxPerEgress})
+	fmt.Print(res.Render() + "\n")
+	if !res.Pass {
+		os.Exit(1)
+	}
+}
+
+// renderDetectProxies is the detect-proxies output (pinned by the
+// golden tests).
+func renderDetectProxies(ds *core.Dataset, cfg proxydetect.Config) string {
+	return figures.ProxyDetection(ds, cfg).Render() + "\n"
 }
 
 // cmdIngest folds sweep directories and loose snapshots into the

@@ -7,9 +7,12 @@ import (
 	"strings"
 	"testing"
 
+	"vidperf/internal/core"
 	"vidperf/internal/diagnose"
 	"vidperf/internal/figures"
 	"vidperf/internal/live"
+	"vidperf/internal/proxydetect"
+	"vidperf/internal/proxypop"
 	"vidperf/internal/session"
 	"vidperf/internal/telemetry"
 	"vidperf/internal/timeline"
@@ -147,6 +150,70 @@ func TestGoldenLive(t *testing.T) {
 		b.WriteString(res.Render() + "\n")
 	}
 	checkGolden(t, "snapshot-live.golden", b.String())
+}
+
+// goldenProxyScenario is the fixture world the proxy goldens pin: a
+// diagnosed proxied campaign at laptop scale. Two cohorts keep each
+// egress safely above the rule-(ii) volume threshold (≈92
+// sessions/cohort vs the default 50) at this session count.
+func goldenProxyScenario() workload.Scenario {
+	return workload.Scenario{
+		Seed: 5, NumSessions: 800, NumPrefixes: 120, Parallelism: 1,
+		Proxy: proxypop.Config{Share: 0.23, Cohorts: 2, EgressKbps: 25000},
+	}
+}
+
+// TestGoldenProxy pins the proxied-campaign renderings byte for byte:
+// the analyze diagnose cause-share table (with its proxy-tromboned
+// row), the full analyze snapshot figure set including stream-proxy,
+// and the analyze detect-proxies report with its ablation.
+func TestGoldenProxy(t *testing.T) {
+	res, err := session.Execute(goldenProxyScenario(), session.Options{
+		Telemetry: true, SketchK: 64, Diagnose: &diagnose.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := res.Snapshot
+	sn.Labels = map[string]string{
+		"spec": "golden", "cell": "base", "diagnosis": "on", "proxy": "share=0.23",
+	}
+	checkGolden(t, "diagnose-proxy.golden", renderDiagnose(sn))
+	var b strings.Builder
+	for _, fr := range figures.AllStreaming(sn) {
+		b.WriteString(fr.Render() + "\n")
+	}
+	checkGolden(t, "snapshot-proxy.golden", b.String())
+
+	dres, err := session.Execute(goldenProxyScenario(), session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "detect-proxies.golden", renderDetectProxies(dres.Dataset, proxydetect.Config{}))
+}
+
+// TestDetectProxiesGroundTruthGate: the detect-proxies report passes on
+// the proxied fixture and, with the ground truth stripped from the
+// records (a trace from a proxy-less world), degrades to the
+// reported-only note instead of claiming accuracy.
+func TestDetectProxiesGroundTruthGate(t *testing.T) {
+	res, err := session.Execute(goldenProxyScenario(), session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := res.Dataset
+	if fig := figures.ProxyDetection(ds, proxydetect.Config{}); !fig.Pass {
+		t.Errorf("detect-proxies failed on the proxied fixture:\n%s", fig.Render())
+	}
+	stripped := &core.Dataset{Sessions: append([]core.SessionRecord(nil), ds.Sessions...), Chunks: ds.Chunks}
+	for i := range stripped.Sessions {
+		stripped.Sessions[i].Proxied = false
+		stripped.Sessions[i].ProxyCohort = 0
+	}
+	fig := figures.ProxyDetection(stripped, proxydetect.Config{})
+	if !strings.Contains(fig.Note, "no ground-truth") {
+		t.Errorf("truth-less trace did not get the reported-only note: %+v", fig)
+	}
 }
 
 // TestGoldenDiagnose pins the analyze -diagnose cause-share table byte

@@ -114,7 +114,7 @@ func TestRunSpecAppliesOverrides(t *testing.T) {
 		"seed": true, "parallel": true, "sketch-k": true, "diagnose": true,
 	}
 	runSpec(discardLogger(), "../../examples/specs/paper-baseline.json", set,
-		150, 100, 500, 9, 2, 64, false, out)
+		150, 100, 500, 9, 2, 64, false, false, out)
 	f, err := os.Open(out)
 	if err != nil {
 		t.Fatalf("open snapshot: %v", err)

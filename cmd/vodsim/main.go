@@ -98,6 +98,7 @@ func main() {
 		stream      = flag.Bool("stream", false, "streaming telemetry mode: aggregate into bounded-memory sketches and write a snapshot instead of a trace")
 		diagnoseF   = flag.Bool("diagnose", false, "classify every session's dominant bottleneck (internal/diagnose) during the streamed run; requires -stream or -spec")
 		spec        = flag.String("spec", "", "run a single-cell experiment spec (JSON, see examples/specs/) in streaming mode; replaces the scenario flags")
+		traceOut    = flag.Bool("trace", false, "with -spec: materialize the full JSONL trace instead of a streaming snapshot (input to `analyze detect-proxies`)")
 		sketchK     = flag.Int("sketch-k", telemetry.DefaultSketchK, "quantile-sketch compaction parameter in -stream mode (error bound ≈ 4/k)")
 		out         = flag.String("out", "trace.jsonl", "output path (JSONL trace, or JSON snapshot with -stream)")
 		chunksCSV   = flag.String("chunks-csv", "", "optional CSV export of the chunk table")
@@ -123,8 +124,12 @@ func main() {
 		}
 		stopProfiles := startProfiles(log, *cpuProfile, *memProfile)
 		defer stopProfiles()
-		runSpec(log, *spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *diagnoseF, *out)
+		runSpec(log, *spec, set, *sessions, *prefixes, *videos, *seed, *parallel, *sketchK, *diagnoseF, *traceOut, *out)
 		return
+	}
+	if *traceOut {
+		fatal(log, "invalid flags", slog.Any("err",
+			fmt.Errorf("-trace only applies to -spec runs (plain runs already write a JSONL trace)")))
 	}
 
 	if err := validateFlags(*sessions, *prefixes, *videos, *parallel, *sketchK,
@@ -232,7 +237,7 @@ func validateFlags(sessions, prefixes, videos, parallel, sketchK int,
 var specOverridableFlags = map[string]bool{
 	"spec": true, "out": true, "parallel": true, "seed": true,
 	"sessions": true, "prefixes": true, "videos": true, "sketch-k": true,
-	"diagnose": true, "cpuprofile": true, "memprofile": true,
+	"diagnose": true, "trace": true, "cpuprofile": true, "memprofile": true,
 	"log-format": true,
 }
 
@@ -259,9 +264,12 @@ func validateSpecFlags(set map[string]bool, sketchK int, extra []string) error {
 // snapshot to out. An explicit -diagnose / -diagnose=false overrides
 // the spec's diagnosis toggle in either direction, like every other
 // override flag (it is an output toggle, so the simulated world — and
-// every non-diagnosis byte of the snapshot state — is unchanged).
+// every non-diagnosis byte of the snapshot state — is unchanged). With
+// -trace the same cell instead materializes the full joined dataset and
+// out receives the JSONL trace — the input `analyze detect-proxies`
+// needs, since the §3 detector reads per-session records, not sketches.
 func runSpec(log *slog.Logger, path string, set map[string]bool, sessions, prefixes, videos int,
-	seed uint64, parallel, sketchK int, diagnose bool, out string) {
+	seed uint64, parallel, sketchK int, diagnose, trace bool, out string) {
 	sp, err := experiment.LoadFile(path)
 	if err != nil {
 		fatal(log, "spec load failed", slog.Any("err", err))
@@ -301,7 +309,20 @@ func runSpec(log *slog.Logger, path string, set map[string]bool, sessions, prefi
 	log.Info("running spec cell",
 		slog.String("spec", sp.Name), slog.String("cell", cell.Name),
 		slog.Int("sessions", sc.NumSessions), slog.Uint64("seed", sc.Seed),
-		slog.String("abr", sc.ABRName), slog.Int("parallel", cell.Scenario.Parallelism))
+		slog.String("abr", sc.ABRName), slog.Int("parallel", cell.Scenario.Parallelism),
+		slog.Bool("trace", trace))
+	if trace {
+		res, err := session.Execute(cell.Scenario, session.Options{})
+		if err != nil {
+			fatal(log, "cell run failed", slog.Any("err", err))
+		}
+		log.Info("generated dataset", slog.String("dataset", res.Dataset.String()))
+		if err := writeTrace(out, res.Dataset); err != nil {
+			fatal(log, "write failed", slog.Any("err", err))
+		}
+		log.Info("wrote trace", slog.String("path", out))
+		return
+	}
 	res, err := experiment.RunCell(sp, cell, "")
 	if err != nil {
 		fatal(log, "cell run failed", slog.Any("err", err))

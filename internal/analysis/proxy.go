@@ -1,0 +1,59 @@
+// proxy.go extracts the proxied-population view from a telemetry
+// snapshot: the CV(SRTT) and startup distributions split by proxied vs
+// direct sessions (internal/proxypop), the per-egress-cohort session
+// mix, and the §3 detector-signal counters. Like the live view, it is
+// entirely sketch- and counter-backed, so it survives one-pass
+// aggregation at any campaign size.
+package analysis
+
+import (
+	"vidperf/internal/telemetry"
+)
+
+// StreamingProxy is the proxied-population report of one snapshot.
+type StreamingProxy struct {
+	// CVProxied / CVClear are the per-session CV(SRTT) distributions of
+	// proxied and direct sessions — the Fig. 9/Table 4 comparison.
+	CVProxied *telemetry.QuantileSketch
+	CVClear   *telemetry.QuantileSketch
+	// StartupProxied / StartupClear split the startup distribution the
+	// same way.
+	StartupProxied *telemetry.QuantileSketch
+	StartupClear   *telemetry.QuantileSketch
+
+	Sessions   uint64               // total sessions in the snapshot
+	Proxied    uint64               // sessions behind a shared egress
+	IPMismatch uint64               // sessions with CDN-vs-beacon IP disagreement
+	Cohorts    []telemetry.DimCount // sessions per egress cohort, sorted by cohort
+
+	enabled bool
+}
+
+// Enabled reports whether the snapshot carries proxy-mode state at all
+// (the sketches are created eagerly in proxy mode, so even an empty
+// proxied campaign is recognized).
+func (p StreamingProxy) Enabled() bool { return p.enabled }
+
+// ProxiedShare is the ground-truth proxied fraction of the campaign.
+func (p StreamingProxy) ProxiedShare() float64 {
+	if p.Sessions == 0 {
+		return 0
+	}
+	return float64(p.Proxied) / float64(p.Sessions)
+}
+
+// StreamProxy extracts the proxied-population view from a snapshot.
+func StreamProxy(sn *telemetry.Snapshot) StreamingProxy {
+	_, ok := sn.Sketches[telemetry.MetricSRTTCVProxied]
+	return StreamingProxy{
+		CVProxied:      sn.Sketch(telemetry.MetricSRTTCVProxied),
+		CVClear:        sn.Sketch(telemetry.MetricSRTTCVClear),
+		StartupProxied: sn.Sketch(telemetry.MetricStartupProxied),
+		StartupClear:   sn.Sketch(telemetry.MetricStartupClear),
+		Sessions:       sn.Counter(telemetry.CounterSessions),
+		Proxied:        sn.Counter(telemetry.CounterSessionsProxied),
+		IPMismatch:     sn.Counter(telemetry.CounterSessionsIPMismatch),
+		Cohorts:        telemetry.CountersByDim(sn.Counters, telemetry.CounterSessions, telemetry.ProxyEgressDim),
+		enabled:        ok,
+	}
+}

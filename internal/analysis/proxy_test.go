@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+
+	"vidperf/internal/proxypop"
+	"vidperf/internal/session"
+	"vidperf/internal/telemetry"
+	"vidperf/internal/workload"
+)
+
+// proxySnapshot simulates a small proxied campaign and returns its
+// telemetry snapshot.
+func proxySnapshot(t *testing.T) *telemetry.Snapshot {
+	t.Helper()
+	res, err := session.Execute(workload.Scenario{
+		Seed:        33,
+		NumSessions: 600,
+		NumPrefixes: 150,
+		Proxy:       proxypop.Config{Share: 0.25, Cohorts: 4, EgressKbps: 25000},
+	}, session.Options{Telemetry: true, SketchK: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Snapshot
+}
+
+// TestStreamProxyView checks the sketch-backed proxied-population
+// report: the view is recognized, the CV splits partition the
+// population, the per-cohort counts sum to the proxied total, and the
+// ground-truth share tracks the configured one.
+func TestStreamProxyView(t *testing.T) {
+	pv := StreamProxy(proxySnapshot(t))
+	if !pv.Enabled() {
+		t.Fatal("proxied snapshot not recognized")
+	}
+	if pv.Sessions != 600 {
+		t.Fatalf("sessions = %d", pv.Sessions)
+	}
+	if got := pv.CVProxied.N() + pv.CVClear.N(); got != pv.Sessions {
+		t.Errorf("CV splits cover %d of %d sessions", got, pv.Sessions)
+	}
+	if pv.Proxied == 0 || pv.Proxied != pv.CVProxied.N() {
+		t.Errorf("proxied counter %d vs proxied sketch %d", pv.Proxied, pv.CVProxied.N())
+	}
+	var cohortSum uint64
+	for _, d := range pv.Cohorts {
+		cohortSum += d.N
+	}
+	if cohortSum != pv.Proxied {
+		t.Errorf("cohort counts sum to %d, want %d", cohortSum, pv.Proxied)
+	}
+	if pv.IPMismatch == 0 || pv.IPMismatch > pv.Proxied {
+		t.Errorf("IP-mismatch count %d outside (0, %d]", pv.IPMismatch, pv.Proxied)
+	}
+	if share := pv.ProxiedShare(); share < 0.2 || share > 0.3 {
+		t.Errorf("ground-truth share %.3f far from configured 0.25", share)
+	}
+}
+
+// TestStreamProxyDisabled: a plain snapshot yields a disabled view, and
+// the zero view's share is defined (0, not NaN).
+func TestStreamProxyDisabled(t *testing.T) {
+	res, err := session.Execute(workload.Scenario{
+		Seed: 33, NumSessions: 200, NumPrefixes: 80,
+	}, session.Options{Telemetry: true, SketchK: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv := StreamProxy(res.Snapshot); pv.Enabled() {
+		t.Fatal("plain snapshot recognized as proxied")
+	}
+	if got := (StreamingProxy{}).ProxiedShare(); got != 0 {
+		t.Errorf("zero view share = %g", got)
+	}
+}

@@ -53,6 +53,10 @@ type ChunkRecord struct {
 	SegsSent  int // segments sent for this chunk
 	SegsLost  int // segments retransmitted for this chunk
 
+	// ProxyCohort is the session's 1-based shared-egress cohort
+	// (internal/proxypop); 0 for direct sessions.
+	ProxyCohort int
+
 	// Model ground truth, present only in simulated traces. Analyses must
 	// not read these; tests use them to validate the detection methods.
 	TruthDDSms     float64
@@ -198,6 +202,13 @@ type SessionRecord struct {
 	LiveJoinChunk int // absolute channel chunk playback started at
 	LiveSwitches  int // mid-stream channel switches
 	LiveEdgeLagMS float64
+
+	// Shared-egress summary (internal/proxypop); zero for direct
+	// sessions. Proxied and ProxyCohort are model ground truth —
+	// detection code (internal/proxydetect, §3 preprocessing) must not
+	// read them; they exist so tests can score the detectors.
+	Proxied     bool
+	ProxyCohort int // 1-based cohort ID
 
 	// Filled by preprocessing.
 	ProxySuspected bool

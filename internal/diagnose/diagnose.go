@@ -19,6 +19,10 @@
 //     egress), with no loss or stack evidence.
 //   - network-loss: network layer, §4.2 / Figs. 11–13 — slow chunks
 //     carried retransmissions above the loss threshold.
+//   - proxy-tromboned: network layer, §3 + §4.2 / Table 4 — the session
+//     shows the proxy signature (CDN-seen IP disagrees with the player
+//     beacon) and a high-CV(SRTT) path: it trombones through a shared
+//     proxy/VPN egress whose queueing colours every chunk.
 //   - client-stack: client layer, §4.3 / Figs. 16–17 — chunks flagged by
 //     the Eq. 4 outlier screen or with an Eq. 5 lower bound above the
 //     configured floor; the download stack buffered data the player
@@ -48,12 +52,13 @@ import (
 // Label names one diagnosed bottleneck layer.
 type Label string
 
-// The eight diagnosis labels, from the server outward to the client.
+// The nine diagnosis labels, from the server outward to the client.
 const (
 	CacheMissFetch    Label = "cache-miss-fetch"
 	BackendLatency    Label = "backend-latency"
 	NetworkThroughput Label = "network-throughput"
 	NetworkLoss       Label = "network-loss"
+	ProxyTromboned    Label = "proxy-tromboned"
 	ClientStack       Label = "client-stack"
 	LiveEdgeLimited   Label = "live-edge-limited"
 	ABRLimited        Label = "abr-limited"
@@ -66,7 +71,8 @@ const (
 func Labels() []Label {
 	return []Label{
 		CacheMissFetch, BackendLatency, NetworkThroughput,
-		NetworkLoss, ClientStack, LiveEdgeLimited, ABRLimited, Healthy,
+		NetworkLoss, ProxyTromboned, ClientStack, LiveEdgeLimited,
+		ABRLimited, Healthy,
 	}
 }
 
@@ -113,6 +119,14 @@ type Config struct {
 	// budget (lag + re-buffering time), i.e. the clock — not the delivery
 	// path — dominated the stalls (default 0.5).
 	LiveLagShare float64
+
+	// ProxyCVMin labels a degraded session proxy-tromboned when it shows
+	// the §3/§4.2 proxy signature: the CDN-seen IP disagrees with the
+	// beacon (rule-i evidence, not ground truth) AND the session's
+	// CV(SRTT) is at least this (default 0.8 — Table 4's high-CV tail).
+	// Tromboned paths mix detour queueing into every chunk, so blaming a
+	// single delivery layer would mis-charge the concentrator's queue.
+	ProxyCVMin float64
 }
 
 // WithDefaults returns the config with zero fields replaced by defaults.
@@ -140,6 +154,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.LiveLagShare == 0 {
 		c.LiveLagShare = 0.5
+	}
+	if c.ProxyCVMin == 0 {
+		c.ProxyCVMin = 0.8
 	}
 	return c
 }
@@ -194,6 +211,17 @@ func Classify(s core.SessionRecord, chunks []core.ChunkRecord, cfg Config) Diagn
 	if s.Live && s.LiveEdgeLagMS > 0 &&
 		s.LiveEdgeLagMS >= cfg.LiveLagShare*(s.LiveEdgeLagMS+s.RebufDurMS) {
 		d.Label = LiveEdgeLimited
+		return d
+	}
+
+	// Sessions with the proxy signature — CDN-vs-beacon IP mismatch (the
+	// same rule-i evidence the §3 detector uses, never the ground-truth
+	// flag) plus a high-CV(SRTT) path — are tromboning through a shared
+	// egress: the detour's queueing colours every chunk, so the per-chunk
+	// vote would scatter blame across layers that all sit behind the
+	// concentrator.
+	if s.HTTPClientIP != "" && s.HTTPClientIP != s.BeaconIP && s.SRTTCV >= cfg.ProxyCVMin {
+		d.Label = ProxyTromboned
 		return d
 	}
 

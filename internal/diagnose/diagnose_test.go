@@ -244,7 +244,7 @@ func TestConfigDefaults(t *testing.T) {
 // iterates in; reordering would silently change merged snapshot bytes.
 func TestLabelsCanonicalOrder(t *testing.T) {
 	want := []Label{CacheMissFetch, BackendLatency, NetworkThroughput,
-		NetworkLoss, ClientStack, LiveEdgeLimited, ABRLimited, Healthy}
+		NetworkLoss, ProxyTromboned, ClientStack, LiveEdgeLimited, ABRLimited, Healthy}
 	got := Labels()
 	if len(got) != len(want) {
 		t.Fatalf("Labels() = %v", got)

@@ -53,6 +53,14 @@ func FuzzDecodeSpec(f *testing.F) {
 		`{"name":"x","live":{"channels":4,"chunk_seconds":6}}`, // typo'd live field
 		`{"name":"x","live":{"channels":4,"join":"zipf","join_zipf_s":1.1}}`,
 		`{"name":"x","serve":{"window_min":5},"live":{"channels":4}}`, // mutually exclusive
+		`{"name":"x","proxy":{"share":0.23}}`,
+		`{"name":"x","proxy":{"share":0}}`,    // a proxy block must enable the model
+		`{"name":"x","proxy":{"share":1.5}}`,  // share out of range
+		`{"name":"x","proxy":{"shares":0.2}}`, // typo'd proxy field
+		`{"name":"x","proxy":{"share":0.2,"cohorts":4096,"egress_kbps":25000}}`,
+		`{"name":"x","proxy":{"share":0.2,"extra_rtt_min_ms":200,"extra_rtt_max_ms":25}}`, // min > max
+		`{"name":"x","proxy":{"share":0.2},"live":{"channels":4}}`,                        // proxy composes with live
+		`{"name":"x","proxy":{"share":0.2},"serve":{"window_min":5}}`,                     // proxy composes with serve
 	} {
 		f.Add([]byte(s))
 	}

@@ -103,6 +103,11 @@ func (s *Spec) Expand() ([]Cell, error) {
 		return nil, fmt.Errorf("experiment: spec %s: %w", s.Name, err)
 	}
 	base.Live = lv
+	px, err := s.Proxy.Build()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: spec %s: %w", s.Name, err)
+	}
+	base.Proxy = px
 	if len(s.Axes) == 0 {
 		return []Cell{{Name: "base", Scenario: base, Axes: map[string]string{}}}, nil
 	}

@@ -144,6 +144,21 @@ var presets = map[string]Spec{
 		},
 	},
 
+	// A proxied-enterprise population: 23% of sessions behind twelve
+	// shared-egress cohorts (the paper's §3 measurement), each tromboning
+	// its members through a 25 Mbit/s concentrator. Diagnosis is on so
+	// the cause table shows the proxy-tromboned label; the trace feeds
+	// `analyze detect-proxies` (the §3 rules + ablation). This is the
+	// spec the CI proxy-determinism gate replays at -parallel 1 and 8 and
+	// byte-compares.
+	"proxied-enterprise": {
+		Name:        "proxied-enterprise",
+		Description: "23% of sessions behind twelve shared-egress proxy cohorts: tromboned paths, §3 detection signals, CV(SRTT) tail inflation.",
+		Scenario:    ScenarioSpec{Seed: u64(61), Sessions: 4000, Prefixes: 600, Videos: 1500},
+		Diagnosis:   true,
+		Proxy:       &ProxySpec{Share: 0.23, Cohorts: 12, EgressKbps: 25000},
+	},
+
 	// The old hardcoded cmd/sweep zipf factor, ported verbatim: same
 	// seed, same scale, same exponents. internal/experiment's parity
 	// test pins this preset's cells to the old construction.

@@ -1,0 +1,76 @@
+// proxy.go is the JSON face of internal/proxypop: the "proxy" block of
+// an experiment spec. Like the rest of the spec format it is strict —
+// unknown fields are rejected by the spec decoder — and every field but
+// share is optional, inheriting internal/proxypop's calibrated defaults.
+package experiment
+
+import (
+	"fmt"
+
+	"vidperf/internal/proxypop"
+)
+
+// ProxySpec is the spec-file encoding of a proxied-population
+// configuration. A spec with a proxy block places the configured share
+// of sessions behind shared-egress cohorts: each cohort presents one
+// egress IP to the CDN and trombones its members' traffic through the
+// concentrator (extra RTT, inflated jitter, shared-egress queueing,
+// optional uplink contention). The block composes freely with live and
+// serve modes — proxied enterprises watch linear channels and stream
+// against a continuous service like anyone else.
+type ProxySpec struct {
+	// Share is the fraction of sessions behind a shared egress
+	// (required, in (0, 1] — a spec that carries a proxy block means to
+	// turn the model on; the paper's trace measured ≈0.23).
+	Share float64 `json:"share"`
+
+	// Cohorts is the number of shared-egress identities the proxied
+	// share splits into (0 selects the default 12).
+	Cohorts int `json:"cohorts,omitempty"`
+
+	// ExtraRTTMinMS / ExtraRTTMaxMS bound the per-cohort trombone RTT
+	// penalty in milliseconds (0 selects the defaults 25 / 200,
+	// mirroring the enterprise backhaul detour).
+	ExtraRTTMinMS float64 `json:"extra_rtt_min_ms,omitempty"`
+	ExtraRTTMaxMS float64 `json:"extra_rtt_max_ms,omitempty"`
+
+	// JitterFactor multiplies prefix jitter on tromboned paths (0
+	// selects the default 3).
+	JitterFactor float64 `json:"jitter_factor,omitempty"`
+
+	// EgressKbps is each cohort's shared uplink capacity, divided among
+	// the expected concurrent members (0 = uncontended egress).
+	EgressKbps float64 `json:"egress_kbps,omitempty"`
+
+	// BeaconMismatchProb is the share of proxied sessions whose player
+	// beacon still reports the true client address — the §3 rule-(i)
+	// evidence (0 selects the default 0.7).
+	BeaconMismatchProb float64 `json:"beacon_mismatch_prob,omitempty"`
+}
+
+// Build converts the spec block into a validated proxypop.Config. A nil
+// receiver (no proxy block) builds the zero config, which disables the
+// model.
+func (p *ProxySpec) Build() (proxypop.Config, error) {
+	var cfg proxypop.Config
+	if p == nil {
+		return cfg, nil
+	}
+	cfg = proxypop.Config{
+		Share:              p.Share,
+		Cohorts:            p.Cohorts,
+		ExtraRTTMinMS:      p.ExtraRTTMinMS,
+		ExtraRTTMaxMS:      p.ExtraRTTMaxMS,
+		JitterFactor:       p.JitterFactor,
+		EgressKbps:         p.EgressKbps,
+		BeaconMismatchProb: p.BeaconMismatchProb,
+	}
+	if cfg.Share <= 0 {
+		return proxypop.Config{}, fmt.Errorf("proxy block: share must be > 0 (got %g)", cfg.Share)
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return proxypop.Config{}, fmt.Errorf("proxy block: %w", err)
+	}
+	return cfg, nil
+}

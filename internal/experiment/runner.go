@@ -159,6 +159,9 @@ func RunCell(spec *Spec, cell Cell, outDir string) (CellResult, error) {
 	if spec.Live != nil {
 		sn.Labels["live"] = fmt.Sprintf("%d-channel", spec.Live.Channels)
 	}
+	if spec.Proxy != nil {
+		sn.Labels["proxy"] = fmt.Sprintf("share=%g", spec.Proxy.Share)
+	}
 	for name, value := range cell.Axes {
 		sn.Labels["axis:"+name] = value
 	}

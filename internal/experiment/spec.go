@@ -89,6 +89,14 @@ type Spec struct {
 	// like the timeline it is shared by every cell, not an axis.
 	Live *LiveSpec `json:"live,omitempty"`
 
+	// Proxy places a share of sessions behind shared-egress proxy/NAT
+	// cohorts (internal/proxypop): tromboned paths with extra RTT and
+	// inflated jitter, one egress IP per cohort, and the §3 detector
+	// signals recorded per session. Unlike timeline and live it composes
+	// with both serve and live modes — proxied enterprises exist in
+	// every campaign shape. Shared by every cell, not an axis.
+	Proxy *ProxySpec `json:"proxy,omitempty"`
+
 	// Axes are crossed into the cell grid in declaration order (first
 	// axis slowest). A spec with no axes is a single cell named "base".
 	Axes []Axis `json:"axes,omitempty"`
@@ -318,6 +326,9 @@ func Load(r io.Reader) (*Spec, error) {
 		}
 		if s.Live != nil {
 			merged.Live = s.Live
+		}
+		if s.Proxy != nil {
+			merged.Proxy = s.Proxy
 		}
 		if len(s.Axes) != 0 {
 			merged.Axes = s.Axes

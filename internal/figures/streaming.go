@@ -178,9 +178,9 @@ func streamLiveResult(l analysis.StreamingLive) Result {
 }
 
 // AllStreaming renders every sketch-backed figure from a snapshot. The
-// diagnosis, timeline-window, and live reports join the set only when
-// the snapshot carries their state, so plain -stream snapshots render
-// exactly as before.
+// diagnosis, timeline-window, live, and proxy reports join the set only
+// when the snapshot carries their state, so plain -stream snapshots
+// render exactly as before.
 func AllStreaming(sn *telemetry.Snapshot) []Result {
 	out := []Result{StreamCDN(sn), StreamMix(sn), StreamQoE(sn)}
 	if d := analysis.StreamDiagnosis(sn); d.Enabled() {
@@ -191,6 +191,9 @@ func AllStreaming(sn *telemetry.Snapshot) []Result {
 	}
 	if l := analysis.StreamLive(sn); l.Enabled() {
 		out = append(out, streamLiveResult(l))
+	}
+	if p := analysis.StreamProxy(sn); p.Enabled() {
+		out = append(out, streamProxyResult(p))
 	}
 	return out
 }

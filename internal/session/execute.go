@@ -132,6 +132,7 @@ func executeTelemetry(sc workload.Scenario, opt Options) (*telemetry.Snapshot, e
 		Diagnose: opt.Diagnose,
 		Windows:  windows,
 		Live:     eff.Live.Enabled(),
+		Proxy:    eff.Proxy.Enabled(),
 	})
 	if err := runOnPopulationWithSinks(workload.Build(sc), camp.Sink, opt.Progress); err != nil {
 		return nil, err

@@ -1,0 +1,158 @@
+package session
+
+import (
+	"bytes"
+	"testing"
+
+	"vidperf/internal/core"
+	"vidperf/internal/proxypop"
+	"vidperf/internal/telemetry"
+	"vidperf/internal/workload"
+)
+
+// proxiedScenario mirrors the proxied-enterprise preset at test scale:
+// 23% of sessions behind shared-egress cohorts with contended uplinks.
+func proxiedScenario(seed uint64, par int) workload.Scenario {
+	sc := smallScenario(seed)
+	sc.Parallelism = par
+	sc.Proxy = proxypop.Config{Share: 0.23, Cohorts: 3, EgressKbps: 25000}
+	return sc
+}
+
+// TestProxyByteIdenticalAcrossParallelism extends the determinism
+// invariant to proxied populations: with cohort assignment, tromboned
+// paths, and egress contention in play, both the JSONL trace and the
+// telemetry snapshot must still serialize to exactly the sequential
+// run's bytes at any parallelism.
+func TestProxyByteIdenticalAcrossParallelism(t *testing.T) {
+	trace := func(par int) []byte {
+		ds := mustRun(t, proxiedScenario(61, par))
+		var buf bytes.Buffer
+		if err := core.WriteJSONL(&buf, ds); err != nil {
+			t.Fatalf("WriteJSONL(par=%d): %v", par, err)
+		}
+		return buf.Bytes()
+	}
+	seqTrace := trace(1)
+	for _, par := range []int{2, 8} {
+		if got := trace(par); !bytes.Equal(seqTrace, got) {
+			t.Fatalf("Parallelism=%d trace differs from sequential (%d vs %d bytes)",
+				par, len(got), len(seqTrace))
+		}
+	}
+
+	snap := func(par int) []byte {
+		res, err := Execute(proxiedScenario(61, par), Options{Telemetry: true, SketchK: 64})
+		if err != nil {
+			t.Fatalf("Execute(par=%d): %v", par, err)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteSnapshot(&buf, res.Snapshot); err != nil {
+			t.Fatalf("WriteSnapshot(par=%d): %v", par, err)
+		}
+		return buf.Bytes()
+	}
+	seqSnap := snap(1)
+	for _, par := range []int{2, 8} {
+		if got := snap(par); !bytes.Equal(seqSnap, got) {
+			t.Fatalf("Parallelism=%d snapshot differs from sequential (%d vs %d bytes)",
+				par, len(got), len(seqSnap))
+		}
+	}
+}
+
+// TestProxySessionRecordInvariants checks the per-session proxy fields:
+// proxied sessions carry a cohort in [1, Cohorts] and that cohort's
+// egress identity as their HTTP client IP; direct sessions carry no
+// proxy state; the realized proxied share tracks the configured one;
+// and the rule-(i) evidence (HTTP-vs-beacon IP disagreement) appears
+// only on proxied sessions in a proxy-block world.
+func TestProxySessionRecordInvariants(t *testing.T) {
+	sc := proxiedScenario(19, 1)
+	ds := mustRun(t, sc)
+	cfg := sc.Proxy.WithDefaults()
+	cohorts := cfg.BuildCohorts(sc.Seed, 0)
+	proxied := 0
+	for i := range ds.Sessions {
+		rec := &ds.Sessions[i]
+		if !rec.Proxied {
+			if rec.ProxyCohort != 0 {
+				t.Fatalf("direct session %d carries cohort %d", rec.SessionID, rec.ProxyCohort)
+			}
+			if rec.HTTPClientIP != rec.BeaconIP {
+				t.Fatalf("direct session %d has mismatched IPs %q vs %q in a proxy-block world",
+					rec.SessionID, rec.HTTPClientIP, rec.BeaconIP)
+			}
+			continue
+		}
+		proxied++
+		if rec.ProxyCohort < 1 || rec.ProxyCohort > cfg.Cohorts {
+			t.Fatalf("session %d cohort %d outside [1, %d]", rec.SessionID, rec.ProxyCohort, cfg.Cohorts)
+		}
+		if want := cohorts[rec.ProxyCohort-1].EgressIP; rec.HTTPClientIP != want {
+			t.Fatalf("session %d egress %q, want cohort %d's %q",
+				rec.SessionID, rec.HTTPClientIP, rec.ProxyCohort, want)
+		}
+	}
+	if proxied == 0 {
+		t.Fatal("proxied campaign produced no proxied sessions")
+	}
+	share := float64(proxied) / float64(len(ds.Sessions))
+	if share < cfg.Share-0.05 || share > cfg.Share+0.05 {
+		t.Errorf("realized proxied share %.3f far from configured %.3f", share, cfg.Share)
+	}
+}
+
+// TestProxyDisabledByteIdenticalToPlain pins the "zero value changes
+// nothing" invariant: a scenario with a disabled proxy block must
+// produce byte-for-byte the trace of one that never mentions proxies.
+func TestProxyDisabledByteIdenticalToPlain(t *testing.T) {
+	plain := mustRun(t, smallScenario(23))
+	withZero := smallScenario(23)
+	withZero.Proxy = proxypop.Config{}
+	zero := mustRun(t, withZero)
+
+	var a, b bytes.Buffer
+	if err := core.WriteJSONL(&a, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteJSONL(&b, zero); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("zero-valued proxy config changed the trace bytes")
+	}
+}
+
+// TestProxyComposesWithLive: the proxy block must thread through live
+// campaigns too — proxied live sessions exist, carry both live and
+// proxy state, and the combined run stays byte-identical across
+// parallelism.
+func TestProxyComposesWithLive(t *testing.T) {
+	mk := func(par int) workload.Scenario {
+		sc := steadyLiveScenario(29, par)
+		sc.Proxy = proxypop.Config{Share: 0.3, Cohorts: 2}
+		return sc
+	}
+	ds := mustRun(t, mk(1))
+	both := 0
+	for i := range ds.Sessions {
+		rec := &ds.Sessions[i]
+		if rec.Live && rec.Proxied {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Fatal("no session is both live and proxied")
+	}
+	var a, b bytes.Buffer
+	if err := core.WriteJSONL(&a, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteJSONL(&b, mustRun(t, mk(8))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("proxied live campaign not byte-identical across parallelism")
+	}
+}

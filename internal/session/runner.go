@@ -140,6 +140,9 @@ func planShards(pop *workload.Population, factory SinkFactory) ([]*slotShard, er
 	if err := sc.Live.Validate(); err != nil {
 		return nil, err
 	}
+	if err := sc.Proxy.Validate(); err != nil {
+		return nil, err
+	}
 	parts, plannedChunks := pop.PartitionBySlot(cfg)
 	shards := make([]*slotShard, 0, len(parts))
 	for bucket, refs := range parts {

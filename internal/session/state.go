@@ -67,6 +67,14 @@ func newSessionState(sh *slotShard, plan workload.SessionPlan,
 
 	pop := sh.pop
 	r := stats.NewRand(pop.Scenario.Seed ^ (plan.ID * 0xdeadbeefcafef00d))
+	prof := plan.Prefix.Profile
+	if plan.Proxied {
+		// Tromboned sessions overlay the shared-egress queueing process
+		// on the prefix's congestion knobs. Org is preserved, so the
+		// per-session scale draws below are position-identical to the
+		// direct world.
+		prof = pop.ProxyCohort(plan.ProxyCohort).Trombone.CongestionProfile(prof)
+	}
 	st := &sessionState{
 		shard:   sh,
 		pop:     pop,
@@ -77,7 +85,7 @@ func newSessionState(sh *slotShard, plan workload.SessionPlan,
 		sink:    sh.sink,
 		r:       r,
 		conn:    tcpmodel.New(plan.PathParams, r.Split()),
-		cong:    plan.Prefix.Profile.NewCongestion(r),
+		cong:    prof.NewCongestion(r),
 		play:    player.New(pop.Scenario.StartThresholdSec),
 		est:     abr.NewEstimator(0.3),
 		records: sh.getRecords(plan.WatchChunks),
@@ -232,7 +240,8 @@ func (s *sessionState) onServed(t0 float64, idx, bitrate int, dur float64, size 
 		CWND: info.CWNDSegments, SRTTms: info.SRTTms, SRTTVarMS: info.RTTVarMS,
 		MSS: info.MSS, RetxTotal: info.RetransTotal,
 		SegsSent: tr.SegmentsSent, SegsLost: tr.SegmentsLost,
-		TruthDDSms: dds.DDSms, TruthTransient: dds.Transient,
+		ProxyCohort: s.plan.ProxyCohort,
+		TruthDDSms:  dds.DDSms, TruthTransient: dds.Transient,
 	}
 	s.records = append(s.records, rec)
 	s.prevRebufN = s.play.RebufCount()
@@ -376,6 +385,10 @@ func (s *sessionState) finish() {
 		rec.LiveJoinChunk = pl.LiveJoinChunk
 		rec.LiveSwitches = s.liveSwitches
 		rec.LiveEdgeLagMS = s.liveLagMS
+	}
+	if pl.Proxied {
+		rec.Proxied = true
+		rec.ProxyCohort = pl.ProxyCohort
 	}
 	s.sink.ConsumeSession(rec, s.records)
 	// The sink contract says chunks are valid only for the duration of the

@@ -80,6 +80,11 @@ type Accumulator struct {
 	// per-channel counters; liveNames is their canonical merge order.
 	live      bool
 	liveNames []string
+
+	// Proxy mode (see proxy.go): proxied-vs-direct QoE sketches plus
+	// per-egress counters; proxyNames is their canonical merge order.
+	proxy      bool
+	proxyNames []string
 }
 
 // Config assembles an accumulator's optional modes next to its sketch
@@ -99,6 +104,9 @@ type Config struct {
 	// Live, when true, folds live-mode QoE (join time, live-edge lag,
 	// per-channel counters) into the aggregates (see live.go).
 	Live bool
+	// Proxy, when true, folds proxied-population QoE (proxied-vs-direct
+	// splits, per-egress counters) into the aggregates (see proxy.go).
+	Proxy bool
 }
 
 // NewAccumulator returns an empty accumulator. Dimension counters key on
@@ -132,6 +140,9 @@ func NewAccumulatorWith(cfg Config) *Accumulator {
 	if cfg.Live {
 		a.enableLive()
 	}
+	if cfg.Proxy {
+		a.enableProxy()
+	}
 	return a
 }
 
@@ -160,6 +171,9 @@ func (a *Accumulator) ConsumeSession(s core.SessionRecord, chunks []core.ChunkRe
 	}
 	if a.live {
 		a.consumeLive(s)
+	}
+	if a.proxy {
+		a.consumeProxy(s)
 	}
 
 	for i := range chunks {
@@ -205,6 +219,9 @@ func (a *Accumulator) Merge(o *Accumulator) {
 		a.sketches[m].Merge(o.sketches[m])
 	}
 	for _, m := range a.liveNames {
+		a.sketches[m].Merge(o.sketches[m])
+	}
+	for _, m := range a.proxyNames {
 		a.sketches[m].Merge(o.sketches[m])
 	}
 	for name, h := range a.hists {

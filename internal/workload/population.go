@@ -15,6 +15,7 @@ import (
 	"vidperf/internal/geo"
 	"vidperf/internal/live"
 	"vidperf/internal/netpath"
+	"vidperf/internal/proxypop"
 	"vidperf/internal/stats"
 	"vidperf/internal/tcpmodel"
 	"vidperf/internal/timeline"
@@ -89,6 +90,13 @@ type Scenario struct {
 	// (no channels) is byte-identical to a scenario without live mode —
 	// the one channel draw it adds happens only when live is enabled.
 	Live live.Config
+
+	// Proxy assigns a share of sessions to shared-egress cohorts with
+	// tromboned paths (internal/proxypop) — the populations the paper's
+	// §3 preprocessing filters out, modeled instead of discarded. The
+	// zero value (no share) is byte-identical to a scenario without the
+	// block — the one placement draw it adds happens only when enabled.
+	Proxy proxypop.Config
 }
 
 // WithDefaults returns the effective scenario with zero fields replaced
@@ -139,6 +147,7 @@ func (s Scenario) WithDefaults() Scenario {
 		s.GPUFrac = 0.45
 	}
 	s.Live = s.Live.WithDefaults()
+	s.Proxy = s.Proxy.WithDefaults()
 	return s
 }
 
@@ -177,6 +186,10 @@ type Population struct {
 	// join draw samples from.
 	liveVideos  []catalog.Video
 	liveWeights []float64
+
+	// proxyCohorts is the shared-egress cohort table of a proxied
+	// scenario (empty otherwise), indexed by Cohort.ID-1.
+	proxyCohorts []proxypop.Cohort
 }
 
 // liveVideoIDBase offsets channel video IDs far above any catalog title
@@ -203,8 +216,33 @@ func Build(sc Scenario) *Population {
 	}
 	pop.buildPrefixes(r.Split())
 	pop.buildLiveChannels()
+	pop.buildProxyCohorts()
 	return pop
 }
+
+// buildProxyCohorts materializes the shared-egress cohort table of a
+// proxied scenario. Cohort penalties hash from (seed, cohort ID) and
+// the egress contention is a closed-form mean-field share, so building
+// the table consumes no RNG draws — the population draw streams are
+// byte-identical with the block disabled or absent.
+func (p *Population) buildProxyCohorts() {
+	pc := p.Scenario.Proxy
+	if !pc.Enabled() {
+		return
+	}
+	chunkSec := p.Catalog.ChunkDuration
+	if p.Scenario.Live.Enabled() {
+		chunkSec = p.Scenario.Live.ChunkDurationSec
+	}
+	conc := pc.ExpectedConcurrent(p.Scenario.NumSessions, p.Scenario.MeanWatchedChunks,
+		chunkSec, p.Scenario.ArrivalWindowMS)
+	p.proxyCohorts = pc.BuildCohorts(p.Scenario.Seed, pc.PerSessionEgressKbps(conc))
+}
+
+// ProxyCohort returns cohort id's table entry (1-based, matching
+// SessionPlan.ProxyCohort). Valid only for proxied scenarios and
+// 1 <= id <= Proxy.Cohorts.
+func (p *Population) ProxyCohort(id int) *proxypop.Cohort { return &p.proxyCohorts[id-1] }
 
 // buildLiveChannels materializes one synthetic asset per linear channel:
 // a long-running "video" whose chunk i the publish clock releases at
@@ -370,6 +408,14 @@ type SessionPlan struct {
 	LiveChannel   int
 	LiveJoinChunk int
 
+	// Proxied marks a session placed behind a shared egress by the
+	// proxy block; ProxyCohort is its 1-based cohort ID (0 otherwise).
+	// The cohort's trombone is already folded into PathParams and its
+	// egress identity into HTTPIP (and, for non-mismatch sessions,
+	// ClientIP), so the session runner only carries the labels through.
+	Proxied     bool
+	ProxyCohort int
+
 	// ServingPoP is the PoP that serves the session: the prefix's PoP
 	// unless a timeline phase has it down at the session's arrival, in
 	// which case it is the phase's failover PoP.
@@ -413,7 +459,25 @@ func (p *Population) PlanSession(id uint64) SessionPlan {
 		plan.HiddenProb = 0.5
 	}
 	plan.HTTPIP = plan.ClientIP
-	if pre.EgressIP != "" {
+	switch {
+	case p.Scenario.Proxy.Enabled():
+		// The proxy block supersedes the legacy per-prefix egress: one
+		// placement draw decides membership, cohort, and beacon
+		// mismatch, so the configured share is the exact ground truth.
+		if a := p.Scenario.Proxy.Assign(r.Float64()); a.Proxied {
+			co := p.ProxyCohort(a.Cohort)
+			plan.Proxied = true
+			plan.ProxyCohort = a.Cohort
+			plan.HTTPIP = co.EgressIP
+			if !a.Mismatch {
+				// The beacon itself egresses through the proxy: both
+				// addresses agree and only the shared-IP volume rule
+				// (§3 rule ii) can catch the session.
+				plan.ClientIP = co.EgressIP
+			}
+			plan.PathParams = co.Trombone.Apply(plan.PathParams)
+		}
+	case pre.EgressIP != "":
 		plan.HTTPIP = pre.EgressIP
 		// Most proxies also expose the IP mismatch between the CDN's
 		// view and the player beacon (§3 rule i); the rest are caught by

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+
+	"vidperf/internal/proxypop"
+)
+
+// TestProxyDisabledPathAddsNoAllocations guards the cost of the proxy
+// model when it is switched off: a scenario carrying a zero-valued
+// proxy config must build no cohort table and plan sessions with
+// exactly the allocation count of a scenario that never mentions
+// proxies. This is what keeps BenchmarkRunParallel's ns/op and B/op —
+// and the benchdiff gate against BENCH_BASELINE.json — unchanged by
+// the proxy subsystem: the benchmark scenarios exercise precisely this
+// disabled path.
+func TestProxyDisabledPathAddsNoAllocations(t *testing.T) {
+	base := Scenario{Seed: 7, NumSessions: 512, NumPrefixes: 64}
+	withZero := base
+	withZero.Proxy = proxypop.Config{}
+
+	plain := Build(base)
+	zero := Build(withZero)
+	if zero.proxyCohorts != nil {
+		t.Fatalf("disabled proxy config built a %d-entry cohort table", len(zero.proxyCohorts))
+	}
+
+	// Cycle a fixed window of ids so both measurements average over the
+	// same per-session code paths (hidden-session draw, watch clamp, ...).
+	plan := func(p *Population) func() {
+		id := uint64(0)
+		return func() {
+			p.PlanSession(id%uint64(p.Scenario.NumSessions) + 1)
+			id++
+		}
+	}
+	const rounds = 2000
+	plainAllocs := testing.AllocsPerRun(rounds, plan(plain))
+	zeroAllocs := testing.AllocsPerRun(rounds, plan(zero))
+	if zeroAllocs != plainAllocs {
+		t.Fatalf("disabled proxy path changed PlanSession allocations: %.2f vs %.2f per plan",
+			zeroAllocs, plainAllocs)
+	}
+
+	// And the enabled path must confine its extra cost to proxied
+	// sessions: membership is one draw and the cohort table is shared,
+	// so the per-plan overhead stays bounded (a handful of allocs for
+	// the rewritten identity strings at most).
+	enabled := base
+	enabled.Proxy = proxypop.Config{Share: 0.23, Cohorts: 3, EgressKbps: 25000}
+	enabledAllocs := testing.AllocsPerRun(rounds, plan(Build(enabled)))
+	if enabledAllocs > plainAllocs+2 {
+		t.Fatalf("enabled proxy path allocates %.2f per plan vs %.2f plain — more than the identity rewrite should cost",
+			enabledAllocs, plainAllocs)
+	}
+}
